@@ -1,0 +1,176 @@
+//! The stage-1 witness database of Theorem 9, made executable.
+//!
+//! The paper proves that every symbolic control trace `w` of a register
+//! automaton is realizable over a *finite* database by chasing the guarded
+//! formula `Ψ_A` and invoking the finite-model property of the guarded
+//! fragment. The executable counterpart here builds, for a family of
+//! symbolic lassos, one finite database over which *each* of them is
+//! realizable:
+//!
+//! * per lasso, the periodic-collapse witness database of
+//!   [`crate::emptiness`] realizes that lasso;
+//! * the union of per-lasso databases, with pairwise *disjoint value
+//!   ranges*, realizes every lasso of the family — a run touching only the
+//!   values of its own component cannot trip a negative literal on facts
+//!   of another component (they mention none of its values).
+
+use crate::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict, Witness};
+use rega_core::{CoreError, ExtendedAutomaton};
+use rega_data::{Database, Value};
+use std::collections::HashMap;
+
+/// A finite database together with the lasso witnesses realizable over it.
+#[derive(Clone, Debug)]
+pub struct UniversalWitness {
+    /// The combined database.
+    pub database: Database,
+    /// The per-lasso witnesses, re-based into the combined value space.
+    pub witnesses: Vec<Witness>,
+}
+
+/// Builds one finite database over which every (budget-enumerable,
+/// realizable) symbolic control trace of the automaton has a run.
+///
+/// Per-component value spaces are kept disjoint by offsetting; each
+/// returned witness's run remains valid over the *combined* database,
+/// which is re-verified before returning.
+pub fn universal_witness_database(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+) -> Result<UniversalWitness, CoreError> {
+    // Enumerate realizable lassos one at a time by running the emptiness
+    // search repeatedly with the already-used control lassos excluded is
+    // complex; instead reuse the internal enumeration: take each candidate
+    // lasso and run the single-lasso pipeline through `check_emptiness` on
+    // a restricted automaton is equally complex. The pragmatic route:
+    // `check_emptiness` returns the first witness; we then diversify by
+    // collecting witnesses for every accepting lasso via the public API.
+    let nba = rega_core::symbolic::scontrol_nba(ext.ra())?;
+    let lassos = rega_automata::emptiness::enumerate_accepting_lassos(
+        &nba,
+        opts.max_lassos,
+        opts.max_cycle_len,
+    );
+    let mut combined = Database::new(ext.ra().schema().clone());
+    let mut witnesses: Vec<Witness> = Vec::new();
+    let mut offset = 0u64;
+    for control in lassos {
+        // Run the emptiness pipeline on just this lasso by temporarily
+        // treating it as the only candidate: reuse the internal helpers via
+        // a single-candidate check.
+        let Some(w) = crate::emptiness::witness_for_lasso(ext, &control, opts)? else {
+            continue;
+        };
+        // Re-base values into a fresh range.
+        let shift = |v: Value| Value(v.raw() + offset);
+        let map: HashMap<Value, Value> = w
+            .database
+            .adom()
+            .into_iter()
+            .chain(w.prefix_run.configs.iter().flat_map(|c| c.regs.iter().copied()))
+            .map(|v| (v, shift(v)))
+            .collect();
+        let shifted_db = w.database.rename(&map);
+        for rel in shifted_db.schema().relations() {
+            for fact in shifted_db.facts(rel) {
+                combined.insert(rel, fact.clone())?;
+            }
+        }
+        let mut prefix_run = w.prefix_run.clone();
+        for c in &mut prefix_run.configs {
+            for v in &mut c.regs {
+                *v = *map.get(v).unwrap_or(v);
+            }
+        }
+        let mut lasso_run = w.lasso_run.clone();
+        if let Some(run) = &mut lasso_run {
+            for c in &mut run.configs {
+                for v in &mut c.regs {
+                    *v = *map.get(v).unwrap_or(v);
+                }
+            }
+        }
+        witnesses.push(Witness {
+            control: w.control.clone(),
+            database: shifted_db,
+            prefix_run,
+            lasso_run,
+        });
+        offset += 1 << 24;
+    }
+    // Re-verify every witness against the combined database; drop those
+    // that no longer validate (should not happen by the disjointness
+    // argument; the check keeps the construction honest).
+    witnesses.retain(|w| {
+        w.prefix_run.validate(ext.ra(), &combined).is_ok()
+            && ext.check_finite_prefix(&combined, &w.prefix_run).is_ok()
+            && match &w.lasso_run {
+                Some(run) => ext.check_lasso_run(&combined, run).is_ok(),
+                None => true,
+            }
+    });
+    Ok(UniversalWitness {
+        database: combined,
+        witnesses,
+    })
+}
+
+/// Convenience: the emptiness verdict for an automaton plus the universal
+/// witness when non-empty.
+pub fn emptiness_with_universal_witness(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+) -> Result<Option<UniversalWitness>, CoreError> {
+    match check_emptiness(ext, opts)? {
+        EmptinessVerdict::Empty => Ok(None),
+        EmptinessVerdict::NonEmpty(_) => Ok(Some(universal_witness_database(ext, opts)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_core::paper;
+    use rega_core::ExtendedAutomaton;
+
+    #[test]
+    fn example1_universal_database() {
+        let (ra, _) = paper::example1();
+        let ext = ExtendedAutomaton::new(ra);
+        let u = universal_witness_database(&ext, &EmptinessOptions::default()).unwrap();
+        assert!(!u.witnesses.is_empty());
+        // Every witness validates over the combined database (checked in
+        // the constructor; assert again for clarity).
+        for w in &u.witnesses {
+            assert!(w.prefix_run.validate(ext.ra(), &u.database).is_ok());
+        }
+    }
+
+    #[test]
+    fn example8_universal_database_covers_multiple_lassos() {
+        let ext = paper::example8();
+        let u = universal_witness_database(&ext, &EmptinessOptions::default()).unwrap();
+        // Several alternation patterns are realizable; the combined
+        // database must support all collected ones.
+        assert!(u.witnesses.len() >= 2);
+        for w in &u.witnesses {
+            if let Some(run) = &w.lasso_run {
+                assert!(ext.check_lasso_run(&u.database, run).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_automaton_no_witnesses() {
+        use rega_data::{Schema, SigmaType};
+        let mut ra = rega_core::RegisterAutomaton::new(0, Schema::empty());
+        let p = ra.add_state("p");
+        let q = ra.add_state("q");
+        ra.set_initial(p);
+        ra.set_accepting(q);
+        ra.add_transition(p, SigmaType::empty(0), q).unwrap();
+        let ext = ExtendedAutomaton::new(ra);
+        let r = emptiness_with_universal_witness(&ext, &EmptinessOptions::default()).unwrap();
+        assert!(r.is_none());
+    }
+}

@@ -1,0 +1,521 @@
+//! The equivalence relation `∼_w` and inequality relation `≠_w` over the
+//! (position, register) pairs of a symbolic control trace (Section 3).
+//!
+//! For a trace `w = ((q_n, δ_n))` of an extended automaton, `∼_w` is the
+//! reflexive-symmetric-transitive closure of the equalities induced by the
+//! transition types and the global equality constraints; `≠_w` relates
+//! classes forced apart by local or global inequalities. The *active
+//! domain* classes are those touching a positive relational literal.
+//!
+//! Infinite traces are analyzed through ultimately periodic presentations:
+//! the structure is computed on a bounded unfolding whose horizon is grown
+//! until the induced structure on a fixed window *stabilizes* (the
+//! constraint sources are finite automata, so the structure on any window
+//! is eventually invariant under horizon growth; the stability rounds and
+//! the maximal horizon are configurable budgets).
+
+use rega_core::{CoreError, ExtendedAutomaton, TransId};
+use rega_automata::Lasso;
+use rega_core::extended::ConstraintKind;
+use rega_data::Term;
+use std::collections::BTreeSet;
+
+/// Budgets for the stabilized structure computation.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassOptions {
+    /// Number of periods unfolded in the first attempt.
+    pub initial_periods: usize,
+    /// The window structure must be unchanged for this many consecutive
+    /// horizon increments to be considered stable.
+    pub stability_rounds: usize,
+    /// Give up growing the horizon beyond this many periods.
+    pub max_periods: usize,
+}
+
+impl Default for ClassOptions {
+    fn default() -> Self {
+        ClassOptions {
+            initial_periods: 6,
+            stability_rounds: 2,
+            max_periods: 64,
+        }
+    }
+}
+
+/// One equivalence class of `∼_w` on the unfolding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Members `(position, register)`, sorted.
+    pub members: Vec<(usize, u16)>,
+    /// Constant symbols in the class (indices into the schema's constants).
+    pub consts: Vec<u32>,
+    /// Whether the class is in the active domain (touches a positive
+    /// relational literal, or contains a constant).
+    pub adom: bool,
+}
+
+impl ClassInfo {
+    /// Smallest member position (`usize::MAX` for constant-only classes).
+    pub fn min_pos(&self) -> usize {
+        self.members.first().map_or(usize::MAX, |&(p, _)| p)
+    }
+
+    /// Largest member position.
+    pub fn max_pos(&self) -> usize {
+        self.members.last().map_or(0, |&(p, _)| p)
+    }
+}
+
+/// The computed structure `(∼_w, ≠_w, adom)` on a bounded unfolding of an
+/// ultimately periodic symbolic control trace.
+#[derive(Clone, Debug)]
+pub struct ClassStructure {
+    /// Number of unfolded positions.
+    pub horizon: usize,
+    /// Registers per position.
+    pub k: usize,
+    /// Prefix length of the analyzed lasso.
+    pub prefix_len: usize,
+    /// Period of the analyzed lasso.
+    pub period: usize,
+    /// Number of constant symbols.
+    pub num_consts: usize,
+    /// `node_class[n * k + i]` — class id of `(n, i)`; constant `c` is node
+    /// `horizon * k + c`.
+    node_class: Vec<usize>,
+    /// The classes.
+    pub classes: Vec<ClassInfo>,
+    /// Class-level inequality pairs `(a, b)`, `a < b`.
+    pub neq: BTreeSet<(usize, usize)>,
+    /// Whether the structure is consistent: no class is forced apart from
+    /// itself.
+    pub consistent: bool,
+    /// Whether the horizon growth stabilized within the budget.
+    pub stabilized: bool,
+}
+
+impl ClassStructure {
+    /// Computes the structure on a fixed unfolding of `horizon` positions.
+    pub fn build(
+        ext: &ExtendedAutomaton,
+        w: &Lasso<TransId>,
+        horizon: usize,
+    ) -> Result<ClassStructure, CoreError> {
+        let ra = ext.ra();
+        let k = ra.k() as usize;
+        let num_consts = ra.schema().num_constants();
+        let n_nodes = horizon * k + num_consts;
+        let node = |n: usize, i: u16| n * k + i as usize;
+        let const_node = |c: u32| horizon * k + c as usize;
+
+        // Union-find.
+        let mut parent: Vec<usize> = (0..n_nodes).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        };
+
+        // Map a type term at position n to a node (None if out of horizon).
+        let term_node = |n: usize, t: Term| -> Option<usize> {
+            match t {
+                Term::X(i) => Some(node(n, i.0)),
+                Term::Y(i) => {
+                    if n + 1 < horizon {
+                        Some(node(n + 1, i.0))
+                    } else {
+                        None
+                    }
+                }
+                Term::Const(c) => Some(const_node(c.0)),
+            }
+        };
+
+        // Per-position type analyses (memoized per transition id).
+        let mut analyses: Vec<Option<rega_data::types::TypeAnalysis>> =
+            vec![None; ra.num_transitions()];
+        for n in 0..horizon {
+            let t = *w.at(n);
+            if analyses[t.idx()].is_none() {
+                analyses[t.idx()] = Some(ra.transition(t).ty.analyze(ra.schema())?);
+            }
+        }
+
+        // 1. Local equalities.
+        for n in 0..horizon {
+            let t = *w.at(n);
+            let a = analyses[t.idx()].as_ref().expect("filled above");
+            for class in a.classes() {
+                let nodes: Vec<usize> =
+                    class.iter().filter_map(|&tm| term_node(n, tm)).collect();
+                for pair in nodes.windows(2) {
+                    union(&mut parent, pair[0], pair[1]);
+                }
+            }
+        }
+
+        // 2. Global equality constraints: walk each constraint DFA from
+        // every start position; merge on acceptance.
+        for c in ext.constraints() {
+            if c.kind != ConstraintKind::Equal {
+                continue;
+            }
+            let dfa = c.dfa();
+            for n in 0..horizon {
+                let mut s = dfa.init();
+                for m in n..horizon {
+                    let q = ra.transition(*w.at(m)).from;
+                    s = dfa.step(s, &q);
+                    if !c.is_alive(s) {
+                        break;
+                    }
+                    if dfa.is_accepting(s) {
+                        union(&mut parent, node(n, c.i.0), node(m, c.j.0));
+                    }
+                }
+            }
+        }
+
+        // Dense class ids.
+        let mut root_class: Vec<usize> = vec![usize::MAX; n_nodes];
+        let mut classes: Vec<ClassInfo> = Vec::new();
+        let mut node_class = vec![0usize; n_nodes];
+        for x in 0..n_nodes {
+            let r = find(&mut parent, x);
+            if root_class[r] == usize::MAX {
+                root_class[r] = classes.len();
+                classes.push(ClassInfo {
+                    members: Vec::new(),
+                    consts: Vec::new(),
+                    adom: false,
+                });
+            }
+            let cid = root_class[r];
+            node_class[x] = cid;
+            if x < horizon * k {
+                classes[cid].members.push((x / k, (x % k) as u16));
+            } else {
+                classes[cid].consts.push((x - horizon * k) as u32);
+                classes[cid].adom = true; // constants are in adom(D)
+            }
+        }
+
+        // 3. Inequalities (local and global), collected at node level, then
+        // lifted to classes.
+        let mut neq: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut consistent = true;
+        let mut add_neq = |a: usize, b: usize, neq: &mut BTreeSet<(usize, usize)>| {
+            let (ca, cb) = (node_class[a], node_class[b]);
+            if ca == cb {
+                consistent = false;
+            } else {
+                neq.insert((ca.min(cb), ca.max(cb)));
+            }
+        };
+        for n in 0..horizon {
+            let t = *w.at(n);
+            let a = analyses[t.idx()].as_ref().expect("filled above");
+            for (c1, c2) in a.neq_pairs() {
+                // Map one representative node of each side, preferring
+                // mappable terms.
+                let n1 = a.classes()[c1].iter().find_map(|&tm| term_node(n, tm));
+                let n2 = a.classes()[c2].iter().find_map(|&tm| term_node(n, tm));
+                if let (Some(x), Some(y)) = (n1, n2) {
+                    add_neq(x, y, &mut neq);
+                }
+            }
+        }
+        for c in ext.constraints() {
+            if c.kind != ConstraintKind::NotEqual {
+                continue;
+            }
+            let dfa = c.dfa();
+            for n in 0..horizon {
+                let mut s = dfa.init();
+                for m in n..horizon {
+                    let q = ra.transition(*w.at(m)).from;
+                    s = dfa.step(s, &q);
+                    if !c.is_alive(s) {
+                        break;
+                    }
+                    if dfa.is_accepting(s) {
+                        add_neq(node(n, c.i.0), node(m, c.j.0), &mut neq);
+                    }
+                }
+            }
+        }
+
+        // 4. Active domain: positive relational literals.
+        for n in 0..horizon {
+            let t = *w.at(n);
+            let ty = &ra.transition(t).ty;
+            for lit in ty.literals() {
+                if !lit.is_positive_rel() {
+                    continue;
+                }
+                for tm in lit.terms() {
+                    if let Some(x) = term_node(n, tm) {
+                        let cid = node_class[x];
+                        classes[cid].adom = true;
+                    }
+                }
+            }
+        }
+
+        Ok(ClassStructure {
+            horizon,
+            k,
+            prefix_len: w.prefix_len(),
+            period: w.period(),
+            num_consts,
+            node_class,
+            classes,
+            neq,
+            consistent,
+            stabilized: true,
+        })
+    }
+
+    /// Grows the horizon until the window structure stabilizes (see module
+    /// docs), then returns the final structure.
+    pub fn build_stable(
+        ext: &ExtendedAutomaton,
+        w: &Lasso<TransId>,
+        opts: ClassOptions,
+    ) -> Result<ClassStructure, CoreError> {
+        let window = w.prefix_len() + 2 * w.period();
+        let mut prev_sig: Option<Vec<u8>> = None;
+        let mut stable_for = 0usize;
+        let mut last: Option<ClassStructure> = None;
+        let mut periods = opts.initial_periods.max(3);
+        while periods <= opts.max_periods {
+            let horizon = w.prefix_len() + periods * w.period();
+            let s = ClassStructure::build(ext, w, horizon)?;
+            let sig = s.window_signature(window);
+            if prev_sig.as_ref() == Some(&sig) {
+                stable_for += 1;
+                if stable_for >= opts.stability_rounds {
+                    return Ok(s);
+                }
+            } else {
+                stable_for = 0;
+            }
+            prev_sig = Some(sig);
+            last = Some(s);
+            periods += 1;
+        }
+        let mut s = last.expect("at least one build");
+        s.stabilized = false;
+        Ok(s)
+    }
+
+    /// The class id of `(position, register)`.
+    pub fn class_of(&self, n: usize, i: u16) -> usize {
+        self.node_class[n * self.k + i as usize]
+    }
+
+    /// The class id of constant `c`.
+    pub fn class_of_const(&self, c: u32) -> usize {
+        self.node_class[self.horizon * self.k + c as usize]
+    }
+
+    /// Whether two classes are forced distinct.
+    pub fn forced_neq(&self, a: usize, b: usize) -> bool {
+        self.neq.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Ids of the active-domain classes.
+    pub fn adom_classes(&self) -> Vec<usize> {
+        (0..self.classes.len())
+            .filter(|&c| self.classes[c].adom)
+            .collect()
+    }
+
+    /// A canonical fingerprint of the structure restricted to the first
+    /// `window` positions: the partition, the inequalities, consistency and
+    /// adom flags. Used for stabilization detection.
+    fn window_signature(&self, window: usize) -> Vec<u8> {
+        let window = window.min(self.horizon);
+        let mut out = Vec::new();
+        out.push(u8::from(self.consistent));
+        // Partition: for each window node, the least window node (or
+        // constant) in its class.
+        let mut canon: std::collections::HashMap<usize, u32> = Default::default();
+        let mut next = 0u32;
+        for n in 0..window {
+            for i in 0..self.k {
+                let c = self.class_of(n, i as u16);
+                let label = *canon.entry(c).or_insert_with(|| {
+                    next += 1;
+                    next
+                });
+                out.extend_from_slice(&label.to_le_bytes());
+                out.push(u8::from(self.classes[c].adom));
+            }
+        }
+        // Constants' classes.
+        for c in 0..self.num_consts {
+            let cid = self.class_of_const(c as u32);
+            let label = canon.get(&cid).copied().unwrap_or(0);
+            out.extend_from_slice(&label.to_le_bytes());
+        }
+        // Inequalities among window-labelled classes.
+        let mut pairs: Vec<(u32, u32)> = self
+            .neq
+            .iter()
+            .filter_map(|&(a, b)| match (canon.get(&a), canon.get(&b)) {
+                (Some(&la), Some(&lb)) => Some((la.min(lb), la.max(lb))),
+                _ => None,
+            })
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        for (a, b) in pairs {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_core::paper;
+
+    #[test]
+    fn example1_register2_forms_one_class() {
+        // Control trace (δ1 δ2 δ2 δ3)^ω: register 2 holds one value forever.
+        let (ra, ts) = paper::example1();
+        let ext = ExtendedAutomaton::new(ra);
+        let w = Lasso::periodic(vec![ts[0], ts[1], ts[1], ts[2]]);
+        let s = ClassStructure::build(&ext, &w, 12).unwrap();
+        assert!(s.consistent);
+        let c = s.class_of(0, 1);
+        for n in 0..12 {
+            assert_eq!(s.class_of(n, 1), c, "register 2 at position {n}");
+        }
+        // Register 1 at position 0 equals register 2 (δ1: x1 = x2).
+        assert_eq!(s.class_of(0, 0), c);
+        // Register 1 at position 1 is its own class (fresh).
+        assert_ne!(s.class_of(1, 0), c);
+        // Register 1 at q1-positions (multiples of 4) equals register 2
+        // (δ3: y1 = y2 entering q1).
+        assert_eq!(s.class_of(4, 0), c);
+        assert_eq!(s.class_of(8, 0), c);
+    }
+
+    #[test]
+    fn example5_constraint_merges_p1_positions() {
+        let ext = paper::example5();
+        let ra = ext.ra();
+        let p1 = ra.state_by_name("p1").unwrap();
+        let p2 = ra.state_by_name("p2").unwrap();
+        let t_p1p2 = ra.outgoing(p1)[0];
+        let p2outs = ra.outgoing(p2);
+        let t_p2p2 = p2outs
+            .iter()
+            .copied()
+            .find(|&t| ra.transition(t).to == p2)
+            .unwrap();
+        let t_p2p1 = p2outs
+            .iter()
+            .copied()
+            .find(|&t| ra.transition(t).to == p1)
+            .unwrap();
+        // trace p1 p2 p2 (p1 p2 p2)^ω
+        let w = Lasso::periodic(vec![t_p1p2, t_p2p2, t_p2p1]);
+        let s = ClassStructure::build(&ext, &w, 9).unwrap();
+        assert!(s.consistent);
+        // p1-positions: 0, 3, 6 — all share a class via e=11.
+        assert_eq!(s.class_of(0, 0), s.class_of(3, 0));
+        assert_eq!(s.class_of(3, 0), s.class_of(6, 0));
+        // p2-positions are unconstrained.
+        assert_ne!(s.class_of(1, 0), s.class_of(0, 0));
+        assert_ne!(s.class_of(1, 0), s.class_of(2, 0));
+    }
+
+    #[test]
+    fn example7_all_pairs_neq_but_consistent() {
+        let ext = paper::example7();
+        let q = ext.ra().state_by_name("q").unwrap();
+        let t = ext.ra().outgoing(q)[0];
+        let w = Lasso::periodic(vec![t]);
+        let s = ClassStructure::build(&ext, &w, 8).unwrap();
+        assert!(s.consistent, "all-distinct structure is satisfiable");
+        // All singleton classes, pairwise neq.
+        for n in 0..8 {
+            for m in (n + 1)..8 {
+                assert_ne!(s.class_of(n, 0), s.class_of(m, 0));
+                assert!(s.forced_neq(s.class_of(n, 0), s.class_of(m, 0)));
+            }
+        }
+        // No database: no adom classes.
+        assert!(s.adom_classes().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_when_eq_and_neq_conflict() {
+        // Example 5's automaton with an extra constraint making p1-values
+        // also *unequal*: inconsistent on any trace visiting p1 twice.
+        let mut ext = paper::example5();
+        ext.add_constraint_str(
+            rega_core::ConstraintKind::NotEqual,
+            rega_data::RegIdx(0),
+            rega_data::RegIdx(0),
+            "p1 p2* p1",
+        )
+        .unwrap();
+        let ra = ext.ra();
+        let p1 = ra.state_by_name("p1").unwrap();
+        let p2 = ra.state_by_name("p2").unwrap();
+        let t_p1p2 = ra.outgoing(p1)[0];
+        let t_p2p1 = ra
+            .outgoing(p2)
+            .iter()
+            .copied()
+            .find(|&t| ra.transition(t).to == p1)
+            .unwrap();
+        let w = Lasso::periodic(vec![t_p1p2, t_p2p1]);
+        let s = ClassStructure::build(&ext, &w, 8).unwrap();
+        assert!(!s.consistent);
+    }
+
+    #[test]
+    fn example8_adom_classes_marked() {
+        let ext = paper::example8();
+        let ra = ext.ra();
+        let p = ra.state_by_name("p").unwrap();
+        let t_pp = ra
+            .outgoing(p)
+            .iter()
+            .copied()
+            .find(|&t| ra.transition(t).to == p)
+            .unwrap();
+        let w = Lasso::periodic(vec![t_pp]);
+        let s = ClassStructure::build(&ext, &w, 6).unwrap();
+        // Every position's register is in P ⇒ in adom.
+        for n in 0..5 {
+            assert!(s.classes[s.class_of(n, 0)].adom, "position {n}");
+        }
+    }
+
+    #[test]
+    fn build_stable_stabilizes_on_example1() {
+        let (ra, ts) = paper::example1();
+        let ext = ExtendedAutomaton::new(ra);
+        let w = Lasso::periodic(vec![ts[0], ts[1], ts[2]]);
+        let s = ClassStructure::build_stable(&ext, &w, ClassOptions::default()).unwrap();
+        assert!(s.stabilized);
+        assert!(s.consistent);
+    }
+}

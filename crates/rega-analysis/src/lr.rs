@@ -1,0 +1,165 @@
+//! LR-boundedness (Definition 15) and its decision procedure (Theorem 18).
+//!
+//! An extended automaton (without a database) is *LR-bounded* if there is a
+//! uniform bound `N` such that for every control trace `w` and position
+//! `h`, the graph `G^w_h` — inequality edges between classes entirely left
+//! of `h` and classes entirely right of `h` — has a vertex cover of size
+//! `≤ N`. `G^w_h` is bipartite, so the vertex-cover number is the maximum
+//! matching (König), which we compute exactly.
+//!
+//! By Theorem 19, LR-boundedness characterizes (up to register-trace
+//! equivalence) the extended automata that arise as projections of register
+//! automata: the bound is exactly what lets the inequality obligations be
+//! enforced in a streaming fashion with finitely many extra registers
+//! (Proposition 22).
+//!
+//! The decision procedure examines the accepting lassos of `SControl`
+//! (consistent ones — others contribute no control trace) and compares the
+//! maximal matching across two unfolding depths: growth witnesses
+//! unboundedness (the matching of a periodic graph family is eventually
+//! constant or grows without bound).
+
+use crate::classes::{ClassOptions, ClassStructure};
+use crate::graph::lr_graph;
+use rega_automata::{emptiness as nba_emptiness, Lasso};
+use rega_core::symbolic::scontrol_nba;
+use rega_core::{CoreError, ExtendedAutomaton, TransId};
+
+/// Budgets for the LR-boundedness check.
+#[derive(Clone, Copy, Debug)]
+pub struct LrOptions {
+    /// Maximum number of candidate lassos examined.
+    pub max_lassos: usize,
+    /// Maximum simple-cycle length in the `SControl` automaton.
+    pub max_cycle_len: usize,
+    /// Periods unfolded at the first probe depth.
+    pub probe_periods: usize,
+    /// Structure stabilization budgets.
+    pub class_opts: ClassOptions,
+}
+
+impl Default for LrOptions {
+    fn default() -> Self {
+        LrOptions {
+            max_lassos: 64,
+            max_cycle_len: 10,
+            probe_periods: 6,
+            class_opts: ClassOptions::default(),
+        }
+    }
+}
+
+/// The verdict of the LR-boundedness check.
+#[derive(Clone, Debug)]
+pub struct LrVerdict {
+    /// Whether the automaton is LR-bounded (within the search budget).
+    pub bounded: bool,
+    /// When bounded: the largest vertex cover observed (a lower bound on
+    /// the true `N`, exact on the examined lassos).
+    pub bound: usize,
+    /// When unbounded: a control-trace lasso on which the vertex covers
+    /// grow without bound.
+    pub witness: Option<Lasso<TransId>>,
+}
+
+/// Decides LR-boundedness of an extended automaton without a database
+/// (Theorem 18).
+pub fn is_lr_bounded(ext: &ExtendedAutomaton, opts: &LrOptions) -> Result<LrVerdict, CoreError> {
+    if !ext.ra().schema().is_empty() {
+        return Err(CoreError::SchemaNotEmpty);
+    }
+    let nba = scontrol_nba(ext.ra())?;
+    let lassos =
+        nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
+    let mut bound = 0usize;
+    for control in lassos {
+        // Probe at two depths; matching growth witnesses unboundedness.
+        let h1 = control.prefix_len() + opts.probe_periods * control.period();
+        let h2 = control.prefix_len() + 2 * opts.probe_periods * control.period();
+        let s1 = ClassStructure::build(ext, &control, h1)?;
+        if !s1.consistent {
+            continue; // not a control trace: no run satisfies the constraints
+        }
+        let s2 = ClassStructure::build(ext, &control, h2)?;
+        let m1 = max_matching_over_positions(&s1);
+        let m2 = max_matching_over_positions(&s2);
+        if m2 > m1 {
+            return Ok(LrVerdict {
+                bounded: false,
+                bound: m2,
+                witness: Some(control),
+            });
+        }
+        bound = bound.max(m2);
+    }
+    Ok(LrVerdict {
+        bounded: true,
+        bound,
+        witness: None,
+    })
+}
+
+/// The maximum over positions `h` of the vertex-cover number of `G^w_h`
+/// (computed as a maximum matching).
+fn max_matching_over_positions(s: &ClassStructure) -> usize {
+    let mut best = 0;
+    for h in 0..s.horizon.saturating_sub(1) {
+        best = best.max(lr_graph(s, h).max_matching());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_core::paper;
+
+    #[test]
+    fn example16_a_is_lr_bounded() {
+        let ext = paper::example16_a();
+        let v = is_lr_bounded(&ext, &LrOptions::default()).unwrap();
+        assert!(v.bounded);
+        assert_eq!(v.bound, 1, "only the (h, h+1) edge at each position");
+    }
+
+    #[test]
+    fn example16_a_prime_is_not_lr_bounded() {
+        let ext = paper::example16_a_prime();
+        let v = is_lr_bounded(&ext, &LrOptions::default()).unwrap();
+        assert!(!v.bounded, "Example 16's 𝒜′ must not be LR-bounded");
+        let w = v.witness.expect("an unbounded lasso is reported");
+        // The witness trace must stay in state p (where the all-distinct
+        // constraint applies).
+        let p = ext.ra().state_by_name("p").unwrap();
+        for n in 0..4 {
+            assert_eq!(ext.ra().transition(*w.at(n)).from, p);
+        }
+    }
+
+    #[test]
+    fn example7_is_not_lr_bounded() {
+        // All-distinct on one state: G^w_h is a growing complete bipartite
+        // graph (Example 17's argument).
+        let ext = paper::example7();
+        let v = is_lr_bounded(&ext, &LrOptions::default()).unwrap();
+        assert!(!v.bounded);
+    }
+
+    #[test]
+    fn example5_is_lr_bounded() {
+        // Only equality constraints: no inequality edges at all.
+        let ext = paper::example5();
+        let v = is_lr_bounded(&ext, &LrOptions::default()).unwrap();
+        assert!(v.bounded);
+        assert_eq!(v.bound, 0);
+    }
+
+    #[test]
+    fn database_automata_rejected() {
+        let ext = paper::example8();
+        assert!(matches!(
+            is_lr_bounded(&ext, &LrOptions::default()),
+            Err(CoreError::SchemaNotEmpty)
+        ));
+    }
+}

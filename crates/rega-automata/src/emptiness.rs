@@ -1,0 +1,337 @@
+//! Emptiness checking for Büchi automata, with accepting-lasso extraction.
+//!
+//! Nonemptiness of an NBA is witnessed by an ultimately periodic word: a
+//! path from an initial state to an accepting state that lies on a cycle.
+//! The decision procedures of Corollary 10 and Theorem 12 reduce to this.
+
+use crate::buchi::Nba;
+use crate::lasso::Lasso;
+use crate::Letter;
+use std::collections::VecDeque;
+
+/// Breadth-first search from `sources` over the NBA's transition graph,
+/// recording `(parent_state, letter_index)` for path reconstruction.
+fn bfs<L: Letter>(nba: &Nba<L>, sources: &[usize]) -> Vec<Option<(usize, usize)>> {
+    // parent[s] = Some((p, li)) if s reached from p via letter li;
+    // sources are marked with a sentinel parent (s, usize::MAX).
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; nba.num_states()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if parent[s].is_none() {
+            parent[s] = Some((s, usize::MAX));
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for li in 0..nba.alphabet().len() {
+            for &t in nba.successors_idx(s, li) {
+                if parent[t].is_none() {
+                    parent[t] = Some((s, li));
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// Reconstructs the letter sequence of the BFS path ending at `target`.
+fn path_letters<L: Letter>(
+    nba: &Nba<L>,
+    parent: &[Option<(usize, usize)>],
+    mut target: usize,
+) -> Vec<L> {
+    let mut letters = Vec::new();
+    while let Some((p, li)) = parent[target] {
+        if li == usize::MAX {
+            break;
+        }
+        letters.push(nba.alphabet()[li].clone());
+        target = p;
+    }
+    letters.reverse();
+    letters
+}
+
+/// Finds a cycle through `pivot` (of length >= 1), returning its letters,
+/// or `None` if `pivot` is not on a cycle.
+fn cycle_through<L: Letter>(nba: &Nba<L>, pivot: usize) -> Option<Vec<L>> {
+    // BFS from the *successors* of pivot back to pivot.
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; nba.num_states()];
+    let mut queue = VecDeque::new();
+    for li in 0..nba.alphabet().len() {
+        for &t in nba.successors_idx(pivot, li) {
+            if t == pivot {
+                return Some(vec![nba.alphabet()[li].clone()]);
+            }
+            if parent[t].is_none() {
+                parent[t] = Some((pivot, li));
+                queue.push_back(t);
+            }
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for li in 0..nba.alphabet().len() {
+            for &t in nba.successors_idx(s, li) {
+                if t == pivot {
+                    // Reconstruct pivot -> ... -> s, then s -> pivot.
+                    let mut letters = vec![nba.alphabet()[li].clone()];
+                    let mut cur = s;
+                    while let Some((p, pli)) = parent[cur] {
+                        letters.push(nba.alphabet()[pli].clone());
+                        if p == pivot {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    letters.reverse();
+                    return Some(letters);
+                }
+                if parent[t].is_none() {
+                    parent[t] = Some((s, li));
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Decides emptiness of the NBA. Returns an accepting lasso if the language
+/// is non-empty, `None` otherwise.
+pub fn find_accepting_lasso<L: Letter>(nba: &Nba<L>) -> Option<Lasso<L>> {
+    let from_init = bfs(nba, nba.inits());
+    for f in 0..nba.num_states() {
+        if !nba.is_accepting(f) || from_init[f].is_none() {
+            continue;
+        }
+        if let Some(cycle) = cycle_through(nba, f) {
+            let prefix = path_letters(nba, &from_init, f);
+            return Some(Lasso::new(prefix, cycle));
+        }
+    }
+    None
+}
+
+/// Whether the NBA's language is empty.
+pub fn is_empty<L: Letter>(nba: &Nba<L>) -> bool {
+    find_accepting_lasso(nba).is_none()
+}
+
+/// Enumerates up to `max_lassos` *distinct* accepting lassos: for each
+/// reachable accepting state, simple cycles through it (length ≤
+/// `max_cycle_len`) are enumerated by DFS, each paired with a shortest
+/// prefix from the initial states.
+///
+/// The decision procedures of `rega-analysis` search this family (plus
+/// pumped variants) for a lasso whose induced constraint structure is
+/// consistent; enumerating *simple* cycles is the right granularity because
+/// any accepted ω-word is a shuffle of simple cycles.
+pub fn enumerate_accepting_lassos<L: Letter>(
+    nba: &Nba<L>,
+    max_lassos: usize,
+    max_cycle_len: usize,
+) -> Vec<Lasso<L>> {
+    enumerate_accepting_lassos_budgeted(nba, max_lassos, max_cycle_len, 500_000)
+}
+
+/// [`enumerate_accepting_lassos`] with an explicit bound on the number of
+/// DFS expansions — large or dense automata (e.g. verification products)
+/// would otherwise explode combinatorially. When the budget is hit, the
+/// lassos found so far are returned; shortest cycles are explored first, so
+/// small witnesses are found even under tight budgets.
+pub fn enumerate_accepting_lassos_budgeted<L: Letter>(
+    nba: &Nba<L>,
+    max_lassos: usize,
+    max_cycle_len: usize,
+    max_steps: usize,
+) -> Vec<Lasso<L>> {
+    let from_init = bfs(nba, nba.inits());
+    let mut out: Vec<Lasso<L>> = Vec::new();
+    // Phase 1: the shortest cycle through each reachable accepting state.
+    // Cheap (one BFS per accepting state) and diverse, this guarantees
+    // dense automata still yield candidates before the budget is consumed.
+    for f in 0..nba.num_states() {
+        if out.len() >= max_lassos {
+            return out;
+        }
+        if !nba.is_accepting(f) || from_init[f].is_none() {
+            continue;
+        }
+        if let Some(cycle) = cycle_through(nba, f) {
+            let lasso = Lasso::new(path_letters(nba, &from_init, f), cycle);
+            if !out.iter().any(|l| l.same_word(&lasso)) {
+                out.push(lasso);
+            }
+        }
+    }
+    // Phase 2: exhaustive simple-cycle enumeration under the step budget
+    // (complete for small automata, best-effort for large ones).
+    let mut steps = 0usize;
+    for f in 0..nba.num_states() {
+        if out.len() >= max_lassos || steps >= max_steps {
+            break;
+        }
+        if !nba.is_accepting(f) || from_init[f].is_none() {
+            continue;
+        }
+        let prefix = path_letters(nba, &from_init, f);
+        // BFS (shortest-first) over simple paths from f back to f.
+        // Queue entries: (current state, letters so far, visited set).
+        let mut stack: VecDeque<(usize, Vec<L>, Vec<bool>)> = VecDeque::new();
+        let mut visited0 = vec![false; nba.num_states()];
+        visited0[f] = true;
+        stack.push_back((f, Vec::new(), visited0));
+        while let Some((s, letters, visited)) = stack.pop_front() {
+            if out.len() >= max_lassos || steps >= max_steps {
+                break;
+            }
+            steps += 1;
+            for li in 0..nba.alphabet().len() {
+                for &t in nba.successors_idx(s, li) {
+                    let mut cycle = letters.clone();
+                    cycle.push(nba.alphabet()[li].clone());
+                    if t == f {
+                        if out.len() >= max_lassos {
+                            continue;
+                        }
+                        let lasso = Lasso::new(prefix.clone(), cycle);
+                        if !out.iter().any(|l| l.same_word(&lasso)) {
+                            out.push(lasso);
+                        }
+                    } else if !visited[t] && cycle.len() < max_cycle_len {
+                        let mut v2 = visited.clone();
+                        v2[t] = true;
+                        stack.push_back((t, cycle, v2));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inf_ones() -> Nba<u8> {
+        let mut a = Nba::new(vec![0, 1], 2);
+        a.set_init(0);
+        a.set_accepting(1, true);
+        a.add_transition(0, &0, 0);
+        a.add_transition(0, &1, 1);
+        a.add_transition(1, &0, 0);
+        a.add_transition(1, &1, 1);
+        a
+    }
+
+    #[test]
+    fn nonempty_produces_valid_lasso() {
+        let a = inf_ones();
+        let lasso = find_accepting_lasso(&a).expect("non-empty");
+        assert!(a.accepts_lasso(&lasso));
+    }
+
+    #[test]
+    fn empty_when_accepting_unreachable() {
+        let mut a = Nba::new(vec![0u8], 2);
+        a.set_init(0);
+        a.set_accepting(1, true);
+        a.add_transition(0, &0, 0);
+        // state 1 unreachable
+        a.add_transition(1, &0, 1);
+        assert!(is_empty(&a));
+    }
+
+    #[test]
+    fn empty_when_accepting_not_on_cycle() {
+        let mut a = Nba::new(vec![0u8], 2);
+        a.set_init(0);
+        a.set_accepting(1, true);
+        a.add_transition(0, &0, 1);
+        // state 1 is a dead end
+        assert!(is_empty(&a));
+    }
+
+    #[test]
+    fn self_loop_lasso() {
+        let mut a = Nba::new(vec![0u8, 1], 2);
+        a.set_init(0);
+        a.set_accepting(1, true);
+        a.add_transition(0, &0, 1);
+        a.add_transition(1, &1, 1);
+        let lasso = find_accepting_lasso(&a).unwrap();
+        assert_eq!(lasso.prefix, vec![0]);
+        assert_eq!(lasso.cycle, vec![1]);
+        assert!(a.accepts_lasso(&lasso));
+    }
+
+    #[test]
+    fn intersection_emptiness() {
+        // inf-ones ∩ only-zeros = empty
+        let mut zeros = Nba::new(vec![0u8, 1], 1);
+        zeros.set_init(0);
+        zeros.set_accepting(0, true);
+        zeros.add_transition(0, &0, 0);
+        let product = inf_ones().intersect(&zeros);
+        assert!(is_empty(&product));
+    }
+
+    #[test]
+    fn longer_cycle_extraction() {
+        // accepting state on a 3-cycle: 0 ->a 1 ->b 2 ->c 0, accept at 2,
+        // init 0. Lasso: prefix "ab", cycle "cab" (or rotation).
+        let mut a = Nba::new(vec![0u8, 1, 2], 3);
+        a.set_init(0);
+        a.set_accepting(2, true);
+        a.add_transition(0, &0, 1);
+        a.add_transition(1, &1, 2);
+        a.add_transition(2, &2, 0);
+        let lasso = find_accepting_lasso(&a).unwrap();
+        assert!(a.accepts_lasso(&lasso));
+        assert_eq!(lasso.cycle.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod enumerate_tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_multiple_cycles() {
+        // 0 -a-> 0, 0 -b-> 1 -c-> 0; accept 0. Cycles through 0: "a", "bc".
+        let mut a = Nba::new(vec![0u8, 1, 2], 2);
+        a.set_init(0);
+        a.set_accepting(0, true);
+        a.add_transition(0, &0, 0);
+        a.add_transition(0, &1, 1);
+        a.add_transition(1, &2, 0);
+        let lassos = enumerate_accepting_lassos(&a, 10, 5);
+        assert_eq!(lassos.len(), 2);
+        for l in &lassos {
+            assert!(a.accepts_lasso(l), "lasso {l} must be accepted");
+        }
+    }
+
+    #[test]
+    fn respects_limits() {
+        let mut a = Nba::new(vec![0u8, 1], 1);
+        a.set_init(0);
+        a.set_accepting(0, true);
+        a.add_transition(0, &0, 0);
+        a.add_transition(0, &1, 0);
+        // Many simple cycles of length 1 and... only 2 (letters a and b).
+        let lassos = enumerate_accepting_lassos(&a, 1, 5);
+        assert_eq!(lassos.len(), 1);
+    }
+
+    #[test]
+    fn empty_automaton_enumerates_nothing() {
+        let mut a = Nba::new(vec![0u8], 2);
+        a.set_init(0);
+        a.set_accepting(1, true);
+        a.add_transition(0, &0, 0);
+        assert!(enumerate_accepting_lassos(&a, 10, 10).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Ultimately periodic ω-words (`u · vʷ`), the finite presentations of
+//! infinite words used by every decision procedure in the library.
+
+use crate::Letter;
+use std::fmt;
+
+/// An ultimately periodic ω-word: the infinite word `prefix · cycleʷ`.
+/// The cycle must be non-empty.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Lasso<L> {
+    /// The finite prefix `u`.
+    pub prefix: Vec<L>,
+    /// The repeated cycle `v` (non-empty).
+    pub cycle: Vec<L>,
+}
+
+impl<L: Letter> Lasso<L> {
+    /// Creates a lasso; panics if the cycle is empty.
+    pub fn new(prefix: Vec<L>, cycle: Vec<L>) -> Self {
+        assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+        Lasso { prefix, cycle }
+    }
+
+    /// A purely periodic word `vʷ`.
+    pub fn periodic(cycle: Vec<L>) -> Self {
+        Lasso::new(Vec::new(), cycle)
+    }
+
+    /// The letter at position `n` of the infinite word.
+    pub fn at(&self, n: usize) -> &L {
+        if n < self.prefix.len() {
+            &self.prefix[n]
+        } else {
+            &self.cycle[(n - self.prefix.len()) % self.cycle.len()]
+        }
+    }
+
+    /// Length of the prefix.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Length of the cycle (the period).
+    pub fn period(&self) -> usize {
+        self.cycle.len()
+    }
+
+    /// The first `n` letters of the infinite word.
+    pub fn unroll(&self, n: usize) -> Vec<L> {
+        (0..n).map(|i| self.at(i).clone()).collect()
+    }
+
+    /// An equivalent lasso whose cycle is repeated `times` times (same
+    /// ω-word, longer period). Useful for aligning periods of two lassos.
+    pub fn pump_cycle(&self, times: usize) -> Lasso<L> {
+        assert!(times >= 1);
+        let mut cycle = Vec::with_capacity(self.cycle.len() * times);
+        for _ in 0..times {
+            cycle.extend(self.cycle.iter().cloned());
+        }
+        Lasso::new(self.prefix.clone(), cycle)
+    }
+
+    /// An equivalent lasso whose prefix is extended by `extra` positions
+    /// (rotating the cycle accordingly). Same ω-word.
+    pub fn extend_prefix(&self, extra: usize) -> Lasso<L> {
+        let mut prefix = self.prefix.clone();
+        let mut cycle = self.cycle.clone();
+        for _ in 0..extra {
+            let head = cycle.remove(0);
+            prefix.push(head.clone());
+            cycle.push(head);
+        }
+        Lasso::new(prefix, cycle)
+    }
+
+    /// Maps letters through `f`.
+    pub fn map<M: Letter>(&self, f: impl Fn(&L) -> M) -> Lasso<M> {
+        Lasso {
+            prefix: self.prefix.iter().map(&f).collect(),
+            cycle: self.cycle.iter().map(&f).collect(),
+        }
+    }
+
+    /// Canonical form: shortest period, shortest prefix. Two lassos denote
+    /// the same ω-word iff their canonical forms are equal.
+    pub fn canonicalize(&self) -> Lasso<L> {
+        // Shrink the period: the smallest divisor d of |v| with v = wⁿ.
+        let v = &self.cycle;
+        let mut period = v.len();
+        'outer: for d in 1..=v.len() / 2 {
+            if v.len() % d != 0 {
+                continue;
+            }
+            for i in d..v.len() {
+                if v[i] != v[i - d] {
+                    continue 'outer;
+                }
+            }
+            period = d;
+            break;
+        }
+        let cycle: Vec<L> = v[..period].to_vec();
+        // Shrink the prefix: while the last prefix letter equals the last
+        // cycle letter, rotate it into the cycle.
+        let mut prefix = self.prefix.clone();
+        let mut cycle = cycle;
+        while let Some(last) = prefix.last() {
+            if *last == cycle[cycle.len() - 1] {
+                let l = prefix.pop().expect("non-empty");
+                cycle.pop();
+                cycle.insert(0, l);
+            } else {
+                break;
+            }
+        }
+        Lasso::new(prefix, cycle)
+    }
+
+    /// Whether two lassos denote the same ω-word.
+    pub fn same_word(&self, other: &Lasso<L>) -> bool {
+        self.canonicalize() == other.canonicalize()
+    }
+}
+
+impl<L: fmt::Debug> fmt::Display for Lasso<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.prefix {
+            write!(f, "{l:?} ")?;
+        }
+        write!(f, "(")?;
+        for (i, l) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        write!(f, ")ω")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_indexes_correctly() {
+        let l = Lasso::new(vec![0u32, 1], vec![2, 3]);
+        let expect = [0, 1, 2, 3, 2, 3, 2];
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(l.at(i), e);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cycle_panics() {
+        let _ = Lasso::<u32>::new(vec![1], vec![]);
+    }
+
+    #[test]
+    fn pump_preserves_word() {
+        let l = Lasso::new(vec![9u32], vec![1, 2]);
+        let p = l.pump_cycle(3);
+        assert_eq!(p.period(), 6);
+        assert_eq!(l.unroll(20), p.unroll(20));
+        assert!(l.same_word(&p));
+    }
+
+    #[test]
+    fn extend_prefix_preserves_word() {
+        let l = Lasso::new(vec![9u32], vec![1, 2, 3]);
+        let e = l.extend_prefix(2);
+        assert_eq!(e.prefix, vec![9, 1, 2]);
+        assert_eq!(e.cycle, vec![3, 1, 2]);
+        assert_eq!(l.unroll(20), e.unroll(20));
+    }
+
+    #[test]
+    fn canonicalize_shrinks_period() {
+        let l = Lasso::periodic(vec![1u32, 2, 1, 2]);
+        let c = l.canonicalize();
+        assert_eq!(c.cycle, vec![1, 2]);
+        assert!(c.prefix.is_empty());
+    }
+
+    #[test]
+    fn canonicalize_rolls_prefix() {
+        // 1 (2 1)^ω = (1 2)^ω
+        let l = Lasso::new(vec![1u32], vec![2, 1]);
+        let c = l.canonicalize();
+        assert!(c.prefix.is_empty());
+        assert_eq!(c.cycle, vec![1, 2]);
+    }
+
+    #[test]
+    fn same_word_detects_equal_words() {
+        let a = Lasso::new(vec![5u32], vec![1, 2, 1, 2]);
+        let b = Lasso::new(vec![5u32, 1, 2], vec![1, 2]);
+        assert!(a.same_word(&b));
+        let c = Lasso::new(vec![5u32], vec![2, 1]);
+        assert!(!a.same_word(&c));
+    }
+
+    #[test]
+    fn map_applies() {
+        let l = Lasso::new(vec![1u32], vec![2]);
+        let m = l.map(|&x| x * 10);
+        assert_eq!(m.prefix, vec![10]);
+        assert_eq!(m.cycle, vec![20]);
+    }
+}

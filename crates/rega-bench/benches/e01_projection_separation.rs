@@ -1,0 +1,81 @@
+//! E1 (Examples 1, 4, 5): register automata are not closed under
+//! projection; extended automata are.
+//!
+//! Measures: (a) the time to refute the unconstrained candidate view and to
+//! confirm Example 5 / the constructed view; (b) the probe-lasso membership
+//! checks that carry the semantic argument. Prints the separation verdicts
+//! recorded in EXPERIMENTS.md.
+
+use criterion::black_box;
+use rega_automata::Lasso;
+use rega_core::simulate::{self, SearchLimits};
+use rega_core::{paper, ExtendedAutomaton};
+use rega_data::{Database, Schema, SigmaType, Value};
+use rega_views::counterexamples::refute_view_candidate;
+use rega_views::prop20::project_register_automaton;
+
+fn limits() -> SearchLimits {
+    SearchLimits {
+        max_nodes: 2_000_000,
+        max_runs: 500_000,
+    }
+}
+
+fn free_candidate() -> ExtendedAutomaton {
+    let mut ra = rega_core::RegisterAutomaton::new(1, Schema::empty());
+    let p1 = ra.add_state("p1");
+    let p2 = ra.add_state("p2");
+    ra.set_initial(p1);
+    ra.set_accepting(p1);
+    for (a, b) in [(p1, p2), (p2, p2), (p2, p1)] {
+        ra.add_transition(a, SigmaType::empty(1), b).unwrap();
+    }
+    ExtendedAutomaton::new(ra)
+}
+
+fn main() {
+    let mut c: criterion::Criterion = rega_bench::criterion();
+    let pool = vec![Value(1), Value(2)];
+
+    // Report the verdicts (the "table" this experiment reproduces).
+    let free = free_candidate();
+    let ex5 = paper::example5();
+    let constructed = project_register_automaton(&paper::example1().0, 1)
+        .unwrap()
+        .view;
+    println!("e01: candidate refuted?");
+    for (name, cand) in [
+        ("unconstrained-RA", &free),
+        ("example5-extended", &ex5),
+        ("prop20-constructed", &constructed),
+    ] {
+        let refuted = refute_view_candidate(cand, 4, &pool, limits()).unwrap();
+        println!("e01:   {name}: {refuted}");
+    }
+
+    c.bench_function("e01/refute_unconstrained", |b| {
+        b.iter(|| refute_view_candidate(black_box(&free), 4, &pool, limits()).unwrap())
+    });
+    c.bench_function("e01/confirm_example5", |b| {
+        b.iter(|| refute_view_candidate(black_box(&ex5), 4, &pool, limits()).unwrap())
+    });
+
+    // Probe-lasso membership (the infinite-horizon argument).
+    let db = Database::new(Schema::empty());
+    let original = ExtendedAutomaton::new(paper::example1().0);
+    let vanishing = Lasso::new(vec![vec![Value(1)]], vec![vec![Value(2)], vec![Value(2)]]);
+    c.bench_function("e01/probe_lasso_membership", |b| {
+        b.iter(|| {
+            simulate::find_lasso_with_projection(
+                black_box(&original),
+                &db,
+                &vanishing,
+                &pool,
+                12,
+                limits(),
+            )
+            .unwrap()
+        })
+    });
+    c.final_summary();
+}

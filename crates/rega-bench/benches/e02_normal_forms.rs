@@ -1,0 +1,43 @@
+//! E2 (§2, Examples 2–3): the blow-ups of the normal forms — completion is
+//! exponential in the register count, the state-driven form quadratic in
+//! the type count. Prints measured output sizes per `k`.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::generate::{random_automaton, GenParams};
+use rega_core::transform::{complete, state_driven};
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+
+    println!("e02: completion/state-driven sizes vs k (3 states, 2 transitions/state)");
+    println!("e02: k  input_trans  completed_trans  state_driven_states");
+    for k in 1..=3u16 {
+        let params = GenParams {
+            states: 3,
+            k,
+            out_degree: 2,
+            literals_per_type: 1,
+            unary_relations: 0,
+            relational_probability: 0.0,
+        };
+        let ra = random_automaton(&params, 42);
+        let completed = complete(&ra).unwrap();
+        let sd = state_driven(&completed);
+        println!(
+            "e02: {}  {:>11}  {:>15}  {:>19}",
+            k,
+            ra.num_transitions(),
+            completed.num_transitions(),
+            sd.automaton.num_states()
+        );
+        c.bench_with_input(BenchmarkId::new("e02/complete", k), &ra, |b, ra| {
+            b.iter(|| complete(black_box(ra)).unwrap())
+        });
+        c.bench_with_input(
+            BenchmarkId::new("e02/state_driven", k),
+            &completed,
+            |b, ra| b.iter(|| state_driven(black_box(ra))),
+        );
+    }
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! E3 (Proposition 6): eliminating global equality constraints with extra
+//! registers — measures the construction time and the register/state
+//! growth versus the number of constraints.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::generate::{random_extended_equalities, GenParams};
+use rega_views::prop6::eliminate_global_equalities;
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    println!("e03: prop6 growth vs number of equality constraints");
+    println!("e03: n_constraints  k_in  k_out  states_in  states_out");
+    for n in 0..=3usize {
+        let params = GenParams {
+            states: 3,
+            k: 2,
+            out_degree: 2,
+            literals_per_type: 1,
+            unary_relations: 0,
+            relational_probability: 0.0,
+        };
+        let ext = random_extended_equalities(&params, n, 7);
+        let r = eliminate_global_equalities(&ext).unwrap();
+        println!(
+            "e03: {:>13}  {:>4}  {:>5}  {:>9}  {:>10}",
+            n,
+            ext.k(),
+            r.automaton.k(),
+            ext.ra().num_states(),
+            r.automaton.ra().num_states()
+        );
+        c.bench_with_input(BenchmarkId::new("e03/eliminate", n), &ext, |b, ext| {
+            b.iter(|| eliminate_global_equalities(black_box(ext)).unwrap())
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,59 @@
+//! E4 (Theorem 9 / Corollary 10): emptiness of extended automata — timing
+//! on the paper's examples and on random automata of growing size; witness
+//! database sizes.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_analysis::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict};
+use rega_core::generate::{random_automaton, GenParams};
+use rega_core::{paper, ExtendedAutomaton};
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let opts = EmptinessOptions::default();
+
+    println!("e04: emptiness verdicts and witness sizes on the paper's examples");
+    println!("e04: example   nonempty  periodic_run  witness_db_facts");
+    for (name, ext) in [
+        ("example1", ExtendedAutomaton::new(paper::example1().0)),
+        ("example5", paper::example5()),
+        ("example7", paper::example7()),
+        ("example8", paper::example8()),
+        ("example23", ExtendedAutomaton::new(paper::example23())),
+    ] {
+        let v = check_emptiness(&ext, &opts).unwrap();
+        match &v {
+            EmptinessVerdict::NonEmpty(w) => println!(
+                "e04: {:<9} {:>8}  {:>12}  {:>16}",
+                name,
+                true,
+                w.lasso_run.is_some(),
+                w.database.total_facts()
+            ),
+            EmptinessVerdict::Empty => {
+                println!("e04: {name:<9} {:>8}", false)
+            }
+        }
+        c.bench_function(&format!("e04/{name}"), |b| {
+            b.iter(|| check_emptiness(black_box(&ext), &opts).unwrap())
+        });
+    }
+
+    // Scaling with automaton size.
+    for states in [2usize, 4, 6, 8] {
+        let params = GenParams {
+            states,
+            k: 2,
+            out_degree: 2,
+            literals_per_type: 2,
+            unary_relations: 1,
+            relational_probability: 0.4,
+        };
+        let ext = ExtendedAutomaton::new(random_automaton(&params, 13));
+        c.bench_with_input(
+            BenchmarkId::new("e04/random_states", states),
+            &ext,
+            |b, ext| b.iter(|| check_emptiness(black_box(ext), &opts).unwrap()),
+        );
+    }
+    c.final_summary();
+}

@@ -1,0 +1,26 @@
+//! E5 (Example 8): state traces of extended automata are quasi-regular but
+//! not ω-regular — the longest `p`-block tracks the database size, a
+//! non-regular dependence. Prints the measured block bounds per `|P|`.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::simulate::SearchLimits;
+use rega_views::counterexamples::example8_longest_p_block;
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let limits = SearchLimits {
+        max_nodes: 2_000_000,
+        max_runs: 500_000,
+    };
+
+    println!("e05: Example 8 — longest pure-p prefix vs |P| (paper: block bound = |P|)");
+    println!("e05: |P|  longest_prefix (= |P| + dangling position)");
+    for n in 1..=4usize {
+        let best = example8_longest_p_block(n, limits);
+        println!("e05: {n:>3}  {best}");
+        c.bench_with_input(BenchmarkId::new("e05/p_block_bound", n), &n, |b, &n| {
+            b.iter(|| example8_longest_p_block(black_box(n), limits))
+        });
+    }
+    c.final_summary();
+}

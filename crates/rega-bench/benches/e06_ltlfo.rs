@@ -1,0 +1,68 @@
+//! E6 (Theorem 12): LTL-FO verification time versus formula size and
+//! automaton size, on the reviewing workflow, with both verdicts.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_analysis::verify::{verify, VerifyOptions};
+use rega_core::ExtendedAutomaton;
+use rega_data::{Qf, QfTerm};
+use rega_logic::LtlFo;
+use rega_workflow::abstract_model;
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let ext = ExtendedAutomaton::new(abstract_model().automaton);
+    let opts = VerifyOptions::default();
+
+    let stable = |i: u16| Qf::Eq(QfTerm::x(i), QfTerm::y(i));
+    let formulas: Vec<(&str, LtlFo)> = vec![
+        (
+            "G-1prop (holds)",
+            LtlFo::new("X (G p)", [("p", stable(0))]).unwrap(),
+        ),
+        (
+            "G-1prop (fails)",
+            LtlFo::new("X (G p)", [("p", stable(2))]).unwrap(),
+        ),
+        (
+            "nested-FG (holds)",
+            LtlFo::new(
+                "F (G (p & q & r))",
+                [("p", stable(0)), ("q", stable(1)), ("r", stable(2))],
+            )
+            .unwrap(),
+        ),
+        (
+            "global-var (holds)",
+            LtlFo::new(
+                "X (G (a -> (b | u)))",
+                [
+                    ("a", Qf::Eq(QfTerm::x(1), QfTerm::z(0))),
+                    ("b", Qf::neq(QfTerm::x(2), QfTerm::z(0))),
+                    ("u", Qf::Eq(QfTerm::x(2), QfTerm::x(0))),
+                ],
+            )
+            .unwrap(),
+        ),
+        (
+            "global-var (fails)",
+            LtlFo::new(
+                "X (G (a -> b))",
+                [
+                    ("a", Qf::Eq(QfTerm::x(0), QfTerm::z(0))),
+                    ("b", Qf::neq(QfTerm::x(2), QfTerm::z(0))),
+                ],
+            )
+            .unwrap(),
+        ),
+    ];
+
+    println!("e06: verification verdicts on the workflow");
+    for (name, phi) in &formulas {
+        let holds = verify(&ext, phi, &opts).unwrap().holds();
+        println!("e06:   {name}: holds={holds}");
+        c.bench_with_input(BenchmarkId::new("e06/verify", name), phi, |b, phi| {
+            b.iter(|| verify(black_box(&ext), phi, &opts).unwrap())
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,76 @@
+//! E7 (Theorem 13 / Proposition 20): projection-view construction — output
+//! automaton sizes versus input sizes, and construction time; registers
+//! projected one by one.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::generate::{random_automaton, GenParams};
+use rega_core::paper;
+use rega_views::prop20::project_register_automaton;
+use rega_views::thm13::project_extended;
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+
+    println!("e07: projection view sizes (prop20), input -> output");
+    println!("e07: input            in_states  in_trans  view_states  view_trans  constraints");
+    let inputs: Vec<(&str, rega_core::RegisterAutomaton)> = vec![
+        ("example1", paper::example1().0),
+        (
+            "random-2s-2k",
+            random_automaton(
+                &GenParams {
+                    states: 2,
+                    k: 2,
+                    out_degree: 2,
+                    literals_per_type: 2,
+                    unary_relations: 0,
+                    relational_probability: 0.0,
+                },
+                3,
+            ),
+        ),
+        (
+            "random-3s-2k",
+            random_automaton(
+                &GenParams {
+                    states: 3,
+                    k: 2,
+                    out_degree: 2,
+                    literals_per_type: 2,
+                    unary_relations: 0,
+                    relational_probability: 0.0,
+                },
+                5,
+            ),
+        ),
+    ];
+    for (name, ra) in &inputs {
+        let proj = project_register_automaton(ra, 1).unwrap();
+        println!(
+            "e07: {:<16} {:>9}  {:>8}  {:>11}  {:>10}  {:>11}",
+            name,
+            ra.num_states(),
+            ra.num_transitions(),
+            proj.view.ra().num_states(),
+            proj.view.ra().num_transitions(),
+            proj.view.constraints().len()
+        );
+        c.bench_with_input(BenchmarkId::new("e07/prop20", name), ra, |b, ra| {
+            b.iter(|| project_register_automaton(black_box(ra), 1).unwrap())
+        });
+    }
+
+    // Theorem 13 on an extended input (Example 5): through Proposition 6.
+    let ext = paper::example5();
+    let t13 = project_extended(&ext, 1).unwrap();
+    println!(
+        "e07: thm13(example5): intermediate k = {}, view states = {}, constraints = {}",
+        t13.intermediate_k,
+        t13.view.ra().num_states(),
+        t13.view.constraints().len()
+    );
+    c.bench_function("e07/thm13_example5", |b| {
+        b.iter(|| project_extended(black_box(&ext), 1).unwrap())
+    });
+    c.final_summary();
+}

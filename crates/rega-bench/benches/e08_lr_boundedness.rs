@@ -1,0 +1,43 @@
+//! E8 (Definition 15 / Theorem 18): LR-boundedness decisions on the
+//! paper's example pair and on random extended automata; timing versus
+//! automaton size.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_analysis::lr::{is_lr_bounded, LrOptions};
+use rega_core::generate::{random_extended, GenParams};
+use rega_core::paper;
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let opts = LrOptions::default();
+
+    println!("e08: LR-boundedness verdicts (paper: 𝒜 bounded, 𝒜′ and Example 7 unbounded)");
+    for (name, ext) in [
+        ("example16_A", paper::example16_a()),
+        ("example16_A'", paper::example16_a_prime()),
+        ("example7", paper::example7()),
+        ("example5", paper::example5()),
+    ] {
+        let v = is_lr_bounded(&ext, &opts).unwrap();
+        println!("e08:   {name}: bounded={} bound={}", v.bounded, v.bound);
+        c.bench_function(&format!("e08/{name}"), |b| {
+            b.iter(|| is_lr_bounded(black_box(&ext), &opts).unwrap())
+        });
+    }
+
+    for states in [2usize, 3, 4] {
+        let params = GenParams {
+            states,
+            k: 2,
+            out_degree: 2,
+            literals_per_type: 2,
+            unary_relations: 0,
+            relational_probability: 0.0,
+        };
+        let ext = random_extended(&params, 2, 21);
+        c.bench_with_input(BenchmarkId::new("e08/random_states", states), &ext, |b, e| {
+            b.iter(|| is_lr_bounded(black_box(e), &opts).unwrap())
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,66 @@
+//! E9 (Proposition 22): the streaming enforcement engine — peak slot usage
+//! versus the `2M² + 1` budget on LR-bounded input, and its growth on the
+//! non-LR-bounded Example 16 𝒜′.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::paper;
+use rega_core::run::{Config, LassoRun};
+use rega_core::{StateId, TransId};
+use rega_data::Value;
+use rega_views::prop22::enforce_lasso;
+
+fn alternating_run() -> LassoRun {
+    LassoRun::new(
+        vec![
+            Config::new(StateId(0), vec![Value(1)]),
+            Config::new(StateId(0), vec![Value(2)]),
+        ],
+        vec![TransId(0), TransId(0)],
+        0,
+    )
+}
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+
+    println!("e09: peak slots vs horizon (paper: bounded case fits 2M²+1; unbounded grows)");
+    println!("e09: horizon  bounded_peak (budget 9)  unbounded_peak (budget 9)");
+    let bounded = paper::example16_a();
+    let unbounded = paper::example16_a_prime();
+    let p = unbounded.ra().state_by_name("p").unwrap();
+    let t_pp = unbounded
+        .ra()
+        .outgoing(p)
+        .iter()
+        .copied()
+        .find(|&t| unbounded.ra().transition(t).to == p)
+        .unwrap();
+    let p_run = LassoRun::new(
+        vec![
+            Config::new(p, vec![Value(1)]),
+            Config::new(p, vec![Value(2)]),
+        ],
+        vec![t_pp, t_pp],
+        0,
+    );
+    let a_run = alternating_run();
+    for horizon in [8usize, 16, 32, 64] {
+        let rb = enforce_lasso(&bounded, &a_run, 2, horizon).unwrap();
+        let ru = enforce_lasso(&unbounded, &p_run, 2, horizon).unwrap();
+        println!(
+            "e09: {:>7}  {:>22}  {:>24}",
+            horizon, rb.peak_slots, ru.peak_slots
+        );
+        c.bench_with_input(
+            BenchmarkId::new("e09/enforce_bounded", horizon),
+            &horizon,
+            |b, &h| b.iter(|| enforce_lasso(black_box(&bounded), &a_run, 2, h).unwrap()),
+        );
+        c.bench_with_input(
+            BenchmarkId::new("e09/enforce_unbounded", horizon),
+            &horizon,
+            |b, &h| b.iter(|| enforce_lasso(black_box(&unbounded), &p_run, 2, h).unwrap()),
+        );
+    }
+    c.final_summary();
+}

@@ -1,0 +1,58 @@
+//! E10 (Theorem 24 / Example 23): the database-hiding projection —
+//! construction time and output constraint counts, plus the enhanced
+//! lasso check (tuple constraints enumerated per candidate run).
+
+use criterion::{black_box, Criterion};
+use rega_core::paper;
+use rega_core::run::{Config, LassoRun};
+use rega_data::{Database, Schema, Value};
+use rega_views::thm24::{project_hiding_database, Thm24Options};
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let a = paper::example23();
+    let opts = Thm24Options::default();
+
+    let proj = project_hiding_database(&a, 1, &opts).unwrap();
+    println!(
+        "e10: thm24(example23): view states={}, ext constraints={}, finiteness={}, tuple={}",
+        proj.view.ext().ra().num_states(),
+        proj.view.ext().constraints().len(),
+        proj.view.finiteness_constraints().len(),
+        proj.view.tuple_inequalities().len()
+    );
+    c.bench_function("e10/construct", |b| {
+        b.iter(|| project_hiding_database(black_box(&a), 1, &opts).unwrap())
+    });
+
+    // Enhanced lasso check: a legal alternating run.
+    let ra2 = proj.view.ext().ra();
+    let empty_db = Database::new(Schema::empty());
+    let p_state = ra2
+        .states()
+        .find(|&s| ra2.is_initial(s) && !ra2.outgoing(s).is_empty())
+        .unwrap();
+    let t1 = ra2.outgoing(p_state)[0];
+    let q_state = ra2.transition(t1).to;
+    if let Some(t2) = ra2
+        .outgoing(q_state)
+        .iter()
+        .copied()
+        .find(|&t| ra2.transition(t).to == p_state)
+    {
+        let run = LassoRun::new(
+            vec![
+                Config::new(p_state, vec![Value(0)]),
+                Config::new(q_state, vec![Value(1)]),
+            ],
+            vec![t1, t2],
+            0,
+        );
+        let accepted = proj.view.check_lasso_run(&empty_db, &run, Some(10)).is_ok();
+        println!("e10: alternating run accepted by the enhanced view: {accepted}");
+        c.bench_function("e10/enhanced_check", |b| {
+            b.iter(|| proj.view.check_lasso_run(&empty_db, black_box(&run), Some(10)))
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,65 @@
+//! E11 (§1): end-to-end workflow throughput — run simulation over a
+//! generated database, runtime view computation, and the specification-view
+//! construction.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::simulate::{self, SearchLimits};
+use rega_core::ExtendedAutomaton;
+use rega_workflow::{abstract_model, database_model, sample_database, views};
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+
+    let wf = database_model();
+    for size in [2usize, 4, 8] {
+        let db = sample_database(&wf, size, size, 2, 9);
+        let ext = ExtendedAutomaton::new(wf.automaton.clone());
+        let pool = simulate::default_pool(&db, 2);
+        c.bench_with_input(BenchmarkId::new("e11/simulate_len4", size), &db, |b, db| {
+            b.iter(|| {
+                simulate::enumerate_prefixes(
+                    black_box(&ext),
+                    db,
+                    4,
+                    &pool,
+                    SearchLimits {
+                        max_nodes: 50_000,
+                        max_runs: 500,
+                    },
+                )
+            })
+        });
+    }
+
+    // Runtime view overhead.
+    let db = sample_database(&wf, 3, 4, 2, 9);
+    let ext = ExtendedAutomaton::new(wf.automaton.clone());
+    let pool = simulate::default_pool(&db, 2);
+    let runs = simulate::enumerate_prefixes(
+        &ext,
+        &db,
+        4,
+        &pool,
+        SearchLimits {
+            max_nodes: 50_000,
+            max_runs: 200,
+        },
+    );
+    println!("e11: simulated {} runs of length 4", runs.len());
+    c.bench_function("e11/runtime_views", |b| {
+        b.iter(|| {
+            runs.iter()
+                .map(|r| views::project_run(black_box(r), &[0, 1]).len())
+                .sum::<usize>()
+        })
+    });
+
+    // Specification-view construction on the abstract model.
+    let abs = abstract_model();
+    c.bench_function("e11/author_view_construction", |b| {
+        b.iter(|| {
+            rega_views::prop20::project_register_automaton(black_box(&abs.automaton), 2).unwrap()
+        })
+    });
+    c.final_summary();
+}

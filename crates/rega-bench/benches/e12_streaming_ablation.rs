@@ -1,0 +1,84 @@
+//! E12 (ablation): incremental constraint monitoring versus naive
+//! re-checking from scratch — the "streaming" claim behind Section 5.
+//!
+//! The incremental monitor advances DFA runs per position (amortized
+//! O(active states)); the naive baseline re-walks every factor of the
+//! prefix at every step (O(n²) DFA steps per run).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_core::extended::ConstraintKind;
+use rega_core::monitor::ConstraintMonitor;
+use rega_core::{paper, ExtendedAutomaton, StateId};
+use rega_data::Value;
+
+/// Naive baseline: at each new position, re-check every factor ending
+/// anywhere in the prefix against every constraint.
+fn naive_check(ext: &ExtendedAutomaton, states: &[StateId], values: &[Value]) -> bool {
+    for end in 0..states.len() {
+        for c in ext.constraints() {
+            for n in 0..=end {
+                let mut s = c.dfa().init();
+                for (m, q) in states.iter().enumerate().take(end + 1).skip(n) {
+                    s = c.dfa().step(s, q);
+                    if c.dfa().is_accepting(s) {
+                        let ok = match c.kind {
+                            ConstraintKind::Equal => values[n] == values[m],
+                            ConstraintKind::NotEqual => values[n] != values[m],
+                        };
+                        if !ok {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn incremental_check(ext: &ExtendedAutomaton, states: &[StateId], values: &[Value]) -> bool {
+    let mut monitor = ConstraintMonitor::new(ext);
+    for (s, v) in states.iter().zip(values.iter()) {
+        if monitor.step(*s, &[*v]).is_some() {
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    // Example 5's equality constraint as the monitored workload; a long
+    // legal trace alternating p1 p2 p2 …
+    let ext = paper::example5();
+    let p1 = ext.ra().state_by_name("p1").unwrap();
+    let p2 = ext.ra().state_by_name("p2").unwrap();
+
+    println!("e12: incremental vs naive constraint checking (Example 5's e=11)");
+    for len in [16usize, 64, 256] {
+        let mut states = Vec::with_capacity(len);
+        let mut values = Vec::with_capacity(len);
+        for i in 0..len {
+            if i % 3 == 0 {
+                states.push(p1);
+                values.push(Value(1));
+            } else {
+                states.push(p2);
+                values.push(Value(100 + i as u64));
+            }
+        }
+        assert!(naive_check(&ext, &states, &values));
+        assert!(incremental_check(&ext, &states, &values));
+        c.bench_with_input(
+            BenchmarkId::new("e12/incremental", len),
+            &(states.clone(), values.clone()),
+            |b, (s, v)| b.iter(|| incremental_check(black_box(&ext), s, v)),
+        );
+        c.bench_with_input(
+            BenchmarkId::new("e12/naive", len),
+            &(states, values),
+            |b, (s, v)| b.iter(|| naive_check(black_box(&ext), s, v)),
+        );
+    }
+    c.final_summary();
+}

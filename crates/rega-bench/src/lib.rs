@@ -1,0 +1,14 @@
+//! Shared helpers for the benchmark harness (experiments E1–E12; see
+//! EXPERIMENTS.md for the experiment index and recorded outcomes).
+
+use criterion::Criterion;
+
+/// A Criterion instance tuned for the CI-scale experiment runs: small
+/// sample counts, short measurement windows.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .configure_from_args()
+}

@@ -1,0 +1,233 @@
+//! `rega` — the command-line interface.
+//!
+//! ```text
+//! rega empty <spec>                 decide emptiness (Corollary 10)
+//! rega verify <spec> <formula> p=<qf> [q=<qf> …]
+//!                                   LTL-FO model checking (Theorem 12)
+//! rega project <spec> <m>           projection view (Prop 20 / Thm 13)
+//! rega lr <spec>                    LR-boundedness (Theorem 18)
+//! rega dot <spec>                   Graphviz export
+//! rega echo <spec>                  parse and re-render the spec
+//! ```
+//!
+//! Specs use the format of `rega_core::spec`. LTL-FO propositions are
+//! quantifier-free formulas in the same literal syntax, e.g.
+//! `stable=x1 = y1` or `inP=P(x1)`; the skeleton references them by name:
+//! `"G stable"`.
+
+use rega_analysis::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict};
+use rega_analysis::lr::{is_lr_bounded, LrOptions};
+use rega_analysis::verify::{verify, VerifyOptions, VerifyResult};
+use rega_core::spec::{parse_spec, to_spec};
+use rega_core::ExtendedAutomaton;
+use rega_logic::LtlFo;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rega empty <spec-file>\n  rega verify <spec-file> <ltl-skeleton> name=<qf> …\n  \
+         rega project <spec-file> <m>\n  rega lr <spec-file>\n  rega dot <spec-file>\n  \
+         rega echo <spec-file>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ExtendedAutomaton, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_spec(&text).map_err(|e| e.to_string())
+}
+
+/// Parses a proposition definition `name=<qf>` where `<qf>` is a
+/// comma-separated conjunction of literals in the spec syntax, re-using the
+/// spec literal parser through a scratch automaton.
+fn parse_prop(
+    def: &str,
+    ext: &ExtendedAutomaton,
+) -> Result<(String, rega_data::Qf), String> {
+    let (name, body) = def
+        .split_once('=')
+        .ok_or_else(|| format!("proposition `{def}` must have the form name=<formula>"))?;
+    if body.trim().is_empty() {
+        return Err(format!(
+            "proposition `{}` has an empty formula (a bare name would be trivially true)",
+            name.trim()
+        ));
+    }
+    // Reuse the transition parser: wrap the body in a one-transition spec.
+    let schema = ext.ra().schema();
+    let mut scratch = format!("registers {}\n", ext.ra().k());
+    if !schema.is_empty() {
+        let mut entries: Vec<String> = schema
+            .relations()
+            .map(|r| format!("{}/{}", schema.relation_name(r), schema.arity(r)))
+            .collect();
+        entries.extend(
+            schema
+                .constants()
+                .map(|c| format!("const {}", schema.constant_name(c))),
+        );
+        scratch.push_str(&format!("schema {{ {} }}\n", entries.join(", ")));
+    }
+    scratch.push_str("state s init accept\n");
+    scratch.push_str(&format!("trans s -> s : {}\n", body.trim()));
+    let parsed = parse_spec(&scratch)
+        .map_err(|e| format!("in proposition `{name}`: {}", e.message))?;
+    let ty = parsed
+        .ra()
+        .transition(rega_core::TransId(0))
+        .ty
+        .clone();
+    let parts: Vec<rega_data::Qf> = ty
+        .literals()
+        .map(|l| match l {
+            rega_data::Literal::Eq(s, t) => {
+                rega_data::Qf::Eq(term_to_qf(*s), term_to_qf(*t))
+            }
+            rega_data::Literal::Neq(s, t) => {
+                rega_data::Qf::neq(term_to_qf(*s), term_to_qf(*t))
+            }
+            rega_data::Literal::Rel {
+                rel,
+                args,
+                positive,
+            } => {
+                let atom =
+                    rega_data::Qf::Rel(*rel, args.iter().map(|a| term_to_qf(*a)).collect());
+                if *positive {
+                    atom
+                } else {
+                    rega_data::Qf::Not(Box::new(atom))
+                }
+            }
+        })
+        .collect();
+    Ok((name.trim().to_string(), rega_data::Qf::And(parts)))
+}
+
+fn term_to_qf(t: rega_data::Term) -> rega_data::QfTerm {
+    match t {
+        rega_data::Term::X(i) => rega_data::QfTerm::X(i),
+        rega_data::Term::Y(i) => rega_data::QfTerm::Y(i),
+        rega_data::Term::Const(c) => rega_data::QfTerm::Const(c),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "empty" => {
+            let [_, path] = &args[..] else {
+                return Ok(usage());
+            };
+            let ext = load(path)?;
+            match check_emptiness(&ext, &EmptinessOptions::default())
+                .map_err(|e| e.to_string())?
+            {
+                EmptinessVerdict::NonEmpty(w) => {
+                    println!("non-empty");
+                    println!("witness control trace: {}", w.control);
+                    if w.database.total_facts() > 0 {
+                        println!("witness database:\n{}", w.database);
+                    }
+                    if let Some(run) = &w.lasso_run {
+                        println!("ultimately periodic run: {run}");
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                EmptinessVerdict::Empty => {
+                    println!("empty (within the default search budgets)");
+                    Ok(ExitCode::from(1))
+                }
+            }
+        }
+        "verify" => {
+            if args.len() < 3 {
+                return Ok(usage());
+            }
+            let ext = load(&args[1])?;
+            let skeleton = &args[2];
+            let mut props = Vec::new();
+            for def in &args[3..] {
+                props.push(parse_prop(def, &ext)?);
+            }
+            let phi = LtlFo::new(
+                skeleton,
+                props.iter().map(|(n, q)| (n.as_str(), q.clone())),
+            )
+            .map_err(|e| e.to_string())?;
+            match verify(&ext, &phi, &VerifyOptions::default()).map_err(|e| e.to_string())? {
+                VerifyResult::Holds => {
+                    println!("holds");
+                    Ok(ExitCode::SUCCESS)
+                }
+                VerifyResult::CounterExample(w) => {
+                    println!("fails; counterexample prefix:");
+                    for (i, c) in w.prefix_run.configs.iter().take(8).enumerate() {
+                        let vals: Vec<String> =
+                            c.regs.iter().map(|v| v.to_string()).collect();
+                        println!("  position {i}: [{}]", vals.join(", "));
+                    }
+                    Ok(ExitCode::from(1))
+                }
+            }
+        }
+        "project" => {
+            let [_, path, m] = &args[..] else {
+                return Ok(usage());
+            };
+            let ext = load(path)?;
+            let m: u16 = m.parse().map_err(|_| "m must be a number".to_string())?;
+            let proj = rega_views::thm13::project_extended(&ext, m)
+                .map_err(|e| e.to_string())?;
+            print!("{}", to_spec(&proj.view).map_err(|e| e.to_string())?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "lr" => {
+            let [_, path] = &args[..] else {
+                return Ok(usage());
+            };
+            let ext = load(path)?;
+            let v = is_lr_bounded(&ext, &LrOptions::default()).map_err(|e| e.to_string())?;
+            if v.bounded {
+                println!("LR-bounded (vertex-cover bound {})", v.bound);
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("not LR-bounded");
+                if let Some(w) = v.witness {
+                    println!("witness trace: {w}");
+                }
+                Ok(ExitCode::from(1))
+            }
+        }
+        "dot" => {
+            let [_, path] = &args[..] else {
+                return Ok(usage());
+            };
+            let ext = load(path)?;
+            print!("{}", rega_core::dot::extended_to_dot(&ext));
+            Ok(ExitCode::SUCCESS)
+        }
+        "echo" => {
+            let [_, path] = &args[..] else {
+                return Ok(usage());
+            };
+            let ext = load(path)?;
+            print!("{}", to_spec(&ext).map_err(|e| e.to_string())?);
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end tests of the `rega` binary against the bundled spec files.
+
+use std::process::Command;
+
+fn rega() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rega"))
+}
+
+fn repo_spec(name: &str) -> String {
+    format!("{}/../../specs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn empty_on_example1_reports_nonempty() {
+    let out = rega()
+        .args(["empty", &repo_spec("example1.rega")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("non-empty"));
+    assert!(stdout.contains("ultimately periodic run"));
+}
+
+#[test]
+fn lr_on_all_distinct_reports_unbounded() {
+    let out = rega()
+        .args(["lr", &repo_spec("all_distinct.rega")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("not LR-bounded"));
+}
+
+#[test]
+fn lr_on_example5_reports_bounded() {
+    let out = rega()
+        .args(["lr", &repo_spec("example5.rega")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("LR-bounded"));
+}
+
+#[test]
+fn verify_both_verdicts() {
+    let holds = rega()
+        .args([
+            "verify",
+            &repo_spec("example1.rega"),
+            "G stable2",
+            "stable2=x2 = y2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(holds.status.success());
+    assert!(String::from_utf8_lossy(&holds.stdout).contains("holds"));
+
+    let fails = rega()
+        .args([
+            "verify",
+            &repo_spec("example1.rega"),
+            "G stable1",
+            "stable1=x1 = y1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(fails.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fails.stdout).contains("counterexample"));
+}
+
+#[test]
+fn project_emits_reparsable_spec() {
+    let out = rega()
+        .args(["project", &repo_spec("example1.rega"), "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let spec = String::from_utf8_lossy(&out.stdout);
+    assert!(spec.contains("registers 1"));
+    // The emitted view's transitions parse back (constraints are DFAs and
+    // are emitted as comments).
+    rega_core::spec::parse_spec(&spec).expect("round-trips");
+}
+
+#[test]
+fn dot_output_shape() {
+    let out = rega()
+        .args(["dot", &repo_spec("example5.rega")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("legend"));
+}
+
+#[test]
+fn echo_round_trips() {
+    let out = rega()
+        .args(["echo", &repo_spec("example1.rega")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let spec = String::from_utf8_lossy(&out.stdout);
+    let reparsed = rega_core::spec::parse_spec(&spec).expect("round-trips");
+    assert_eq!(reparsed.ra().num_states(), 2);
+    assert_eq!(reparsed.ra().num_transitions(), 3);
+}
+
+#[test]
+fn empty_proposition_rejected() {
+    let out = rega()
+        .args(["verify", &repo_spec("example1.rega"), "G p", "p="])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("empty formula"));
+}
+
+#[test]
+fn project_beyond_k_errors_cleanly() {
+    let out = rega()
+        .args(["project", &repo_spec("example5.rega"), "5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported projection"));
+}
+
+#[test]
+fn bad_usage_and_bad_file() {
+    let out = rega().args(["frobnicate"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = rega()
+        .args(["empty", "/nonexistent.rega"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

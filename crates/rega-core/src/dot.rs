@@ -1,0 +1,120 @@
+//! Graphviz (DOT) export for register automata, for inspecting workflows
+//! and constructed views.
+//!
+//! ```sh
+//! cargo run -p rega-examples --example quickstart | dot -Tsvg …
+//! ```
+
+use crate::automaton::RegisterAutomaton;
+use crate::extended::{ConstraintKind, ExtendedAutomaton};
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the automaton as a DOT digraph: initial states get an inbound
+/// arrow, accepting states a double circle, transitions their type as the
+/// edge label.
+pub fn to_dot(ra: &RegisterAutomaton) -> String {
+    let mut out = String::from("digraph registerautomaton {\n  rankdir=LR;\n");
+    for s in ra.states() {
+        let shape = if ra.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}];\n",
+            s.0,
+            escape(ra.state_name(s)),
+            shape
+        ));
+        if ra.is_initial(s) {
+            out.push_str(&format!(
+                "  start{0} [shape=point, style=invis];\n  start{0} -> n{0};\n",
+                s.0
+            ));
+        }
+    }
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{}\"];\n",
+            tr.from.0,
+            tr.to.0,
+            escape(&tr.ty.to_string())
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an extended automaton: the underlying automaton plus a legend
+/// node listing the global constraints.
+pub fn extended_to_dot(ext: &ExtendedAutomaton) -> String {
+    let mut out = to_dot(ext.ra());
+    if !ext.constraints().is_empty() {
+        let mut legend = String::from("global constraints:\\l");
+        for (n, c) in ext.constraints().iter().enumerate() {
+            let op = match c.kind {
+                ConstraintKind::Equal => "=",
+                ConstraintKind::NotEqual => "≠",
+            };
+            let body = match &c.regex {
+                Some(r) => r.render(&|s| ext.ra().state_name(*s).to_string()),
+                None => format!("<{}-state DFA>", c.dfa().num_states()),
+            };
+            legend.push_str(&format!(
+                "e{op}[{},{}] #{n}: {}\\l",
+                c.i.0 + 1,
+                c.j.0 + 1,
+                escape(&body)
+            ));
+        }
+        // Insert the legend before the closing brace.
+        out.truncate(out.len() - 2);
+        out.push_str(&format!(
+            "  legend [shape=note, label=\"{legend}\"];\n}}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn dot_contains_states_and_edges() {
+        let (ra, _) = paper::example1();
+        let dot = to_dot(&ra);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"q1\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn initial_marker_present() {
+        let (ra, _) = paper::example1();
+        let dot = to_dot(&ra);
+        assert!(dot.contains("start0 -> n0"));
+        assert!(!dot.contains("start1 -> n1"), "q2 is not initial");
+    }
+
+    #[test]
+    fn extended_dot_lists_constraints() {
+        let ext = paper::example5();
+        let dot = extended_to_dot(&ext);
+        assert!(dot.contains("legend"));
+        assert!(dot.contains("p1 p2* p1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escaping_quotes() {
+        assert_eq!(escape(r#"a"b"#), r#"a\"b"#);
+    }
+}

@@ -1,0 +1,453 @@
+//! Enhanced register automata (Section 6): extended automata further
+//! augmented with *finiteness constraints* and *tuple inequality
+//! constraints*. Theorem 24 shows these suffice to describe projections of
+//! register automata in which some registers **and the entire database** are
+//! hidden.
+//!
+//! ## Representation of the MSO constraints
+//!
+//! The paper specifies both new constraint kinds by MSO formulas over the
+//! state trace. Every formula it actually uses is regular, so we represent
+//! them by automata (cf. Lemma 14), which keeps them executable:
+//!
+//! * a [`PositionSelector`] (for `φ_fin(x)`) is a finite union of pairs
+//!   `(before, from_here)`: position `m` is selected iff for some pair the
+//!   strict prefix `q_0 … q_{m-1}` is accepted by the DFA `before` and the
+//!   suffix `q_m q_{m+1} …` is accepted by the Büchi automaton `from_here`.
+//!   This normal form captures exactly the MSO-definable unary predicates
+//!   on ω-words.
+//! * a [`TupleInequality`] selector is a Büchi automaton over *marked*
+//!   letters `(state, mark)`: the mark is a bitmask over the `2l` position
+//!   slots (`α₁…α_l β₁…β_l`). A tuple of positions is selected iff the
+//!   ω-word marked at those positions is accepted.
+//!
+//! ## Semantics
+//!
+//! * A finiteness constraint `(i, sel)` holds in a run iff the set of
+//!   *values* `{ d_m[i] | m selected }` is finite. (The paper's prose reads
+//!   "the set of positions is finite", but its own use in Theorem 24 —
+//!   where the selected positions recur forever yet the values must form
+//!   the finite set `C` — fixes the intended reading to values; see
+//!   DESIGN.md.) On an ultimately periodic run the value set is always
+//!   finite, so these constraints only restrict non-periodic runs.
+//! * A tuple inequality `(ī, j̄, sel)` holds iff for every selected pair of
+//!   position tuples `(ᾱ, β̄)`: `(d_{α₁}[i₁], …) ≠ (d_{β₁}[j₁], …)` as
+//!   tuples.
+
+use crate::automaton::StateId;
+use crate::extended::ExtendedAutomaton;
+use crate::run::LassoRun;
+use rega_automata::{Dfa, Lasso, Nba};
+use rega_data::{RegIdx, Value};
+use std::collections::BTreeSet;
+
+/// A regular unary position predicate on state traces (see module docs).
+#[derive(Clone, Debug)]
+pub struct PositionSelector {
+    /// Union components `(before, from_here)`.
+    pub components: Vec<(Dfa<StateId>, Nba<StateId>)>,
+}
+
+impl PositionSelector {
+    /// A selector that selects every position.
+    pub fn all(states: Vec<StateId>) -> Self {
+        // before: accepts every finite word; from_here: accepts everything.
+        let before = Dfa::from_parts(states.clone(), 0, vec![true], vec![vec![0; states.len()]]);
+        let mut nba = Nba::new(states, 1);
+        nba.set_init(0);
+        nba.set_accepting(0, true);
+        for li in 0..nba.alphabet().len() {
+            let letter = nba.alphabet()[li].clone();
+            nba.add_transition(0, &letter, 0);
+        }
+        PositionSelector {
+            components: vec![(before, nba)],
+        }
+    }
+
+    /// Whether position `m` of the (ultimately periodic) state trace is
+    /// selected.
+    pub fn is_selected(&self, trace: &Lasso<StateId>, m: usize) -> bool {
+        let prefix = trace.unroll(m);
+        // The suffix from m is again a lasso.
+        let suffix = shift_lasso(trace, m);
+        self.components.iter().any(|(before, from_here)| {
+            before.accepts(&prefix) && from_here.accepts_lasso(&suffix)
+        })
+    }
+}
+
+/// The lasso denoting the suffix of `trace` starting at position `m`.
+pub fn shift_lasso<L: Clone + Eq + std::hash::Hash + Ord + std::fmt::Debug>(
+    trace: &Lasso<L>,
+    m: usize,
+) -> Lasso<L> {
+    if m <= trace.prefix_len() {
+        Lasso::new(trace.prefix[m..].to_vec(), trace.cycle.clone())
+    } else {
+        let off = (m - trace.prefix_len()) % trace.period();
+        let mut cycle = trace.cycle[off..].to_vec();
+        cycle.extend_from_slice(&trace.cycle[..off]);
+        Lasso::new(Vec::new(), cycle)
+    }
+}
+
+/// A finiteness constraint: the set of values of `register` at the selected
+/// positions must be finite.
+#[derive(Clone, Debug)]
+pub struct FinitenessConstraint {
+    /// The register whose values are collected.
+    pub register: RegIdx,
+    /// The position predicate.
+    pub selector: PositionSelector,
+}
+
+/// A tuple inequality constraint (see module docs). `mark` bit `b` (for
+/// `b < arity`) marks slot `α_{b+1}`; bit `arity + b` marks `β_{b+1}`.
+#[derive(Clone, Debug)]
+pub struct TupleInequality {
+    /// Registers read at the `ᾱ` positions.
+    pub i_regs: Vec<RegIdx>,
+    /// Registers read at the `β̄` positions.
+    pub j_regs: Vec<RegIdx>,
+    /// Büchi automaton over `(state, mark)` letters selecting the tuples.
+    pub selector: Nba<(StateId, u32)>,
+}
+
+impl TupleInequality {
+    /// The common arity `l`.
+    pub fn arity(&self) -> usize {
+        self.i_regs.len()
+    }
+
+    /// Whether the position tuple `(alphas, betas)` is selected on `trace`.
+    ///
+    /// Builds the marked lasso: marks must all fall within
+    /// `max(positions) + 1`; the word is unrolled far enough that all marks
+    /// sit in the prefix of the marked lasso.
+    pub fn is_selected(&self, trace: &Lasso<StateId>, alphas: &[usize], betas: &[usize]) -> bool {
+        debug_assert_eq!(alphas.len(), self.arity());
+        debug_assert_eq!(betas.len(), self.arity());
+        let l = self.arity();
+        let max_pos = alphas.iter().chain(betas.iter()).copied().max().unwrap_or(0);
+        // Unroll past all marks and past the lasso's own prefix so the
+        // remaining cycle is mark-free.
+        let cut = (max_pos + 1).max(trace.prefix_len() + trace.period());
+        // Align the cut to a full period boundary beyond the prefix.
+        let extra = (cut - trace.prefix_len()).div_ceil(trace.period());
+        let cut = trace.prefix_len() + extra * trace.period();
+        let mark_at = |m: usize| -> u32 {
+            let mut mask = 0u32;
+            for (b, &a) in alphas.iter().enumerate() {
+                if a == m {
+                    mask |= 1 << b;
+                }
+            }
+            for (b, &bb) in betas.iter().enumerate() {
+                if bb == m {
+                    mask |= 1 << (l + b);
+                }
+            }
+            mask
+        };
+        let prefix: Vec<(StateId, u32)> =
+            (0..cut).map(|m| (*trace.at(m), mark_at(m))).collect();
+        let cycle: Vec<(StateId, u32)> = (cut..cut + trace.period())
+            .map(|m| (*trace.at(m), 0u32))
+            .collect();
+        self.selector.accepts_lasso(&Lasso::new(prefix, cycle))
+    }
+
+    /// The value tuple read at positions `ps` through registers `regs`.
+    fn value_tuple(run: &LassoRun, ps: &[usize], regs: &[RegIdx]) -> Vec<Value> {
+        ps.iter()
+            .zip(regs.iter())
+            .map(|(&p, r)| run.config_at(p).regs[r.idx()])
+            .collect()
+    }
+}
+
+/// An enhanced automaton: an extended automaton plus finiteness and tuple
+/// inequality constraints. (Monadic global inequality constraints are a
+/// special case of tuple inequalities of arity 1, as the paper notes, but
+/// keeping them in the extended layer preserves the cheaper monitors.)
+#[derive(Clone, Debug)]
+pub struct EnhancedAutomaton {
+    ext: ExtendedAutomaton,
+    finiteness: Vec<FinitenessConstraint>,
+    tuple_neq: Vec<TupleInequality>,
+}
+
+impl EnhancedAutomaton {
+    /// Wraps an extended automaton with (initially) no additional
+    /// constraints.
+    pub fn new(ext: ExtendedAutomaton) -> Self {
+        EnhancedAutomaton {
+            ext,
+            finiteness: Vec::new(),
+            tuple_neq: Vec::new(),
+        }
+    }
+
+    /// The underlying extended automaton.
+    pub fn ext(&self) -> &ExtendedAutomaton {
+        &self.ext
+    }
+
+    /// Adds a finiteness constraint.
+    pub fn add_finiteness(&mut self, c: FinitenessConstraint) {
+        self.finiteness.push(c);
+    }
+
+    /// Adds a tuple inequality constraint.
+    pub fn add_tuple_inequality(&mut self, c: TupleInequality) {
+        self.tuple_neq.push(c);
+    }
+
+    /// The finiteness constraints.
+    pub fn finiteness_constraints(&self) -> &[FinitenessConstraint] {
+        &self.finiteness
+    }
+
+    /// The tuple inequality constraints.
+    pub fn tuple_inequalities(&self) -> &[TupleInequality] {
+        &self.tuple_neq
+    }
+
+    /// Checks a lasso run against the underlying extended automaton and the
+    /// enhanced constraints.
+    ///
+    /// * Finiteness constraints hold on every ultimately periodic run
+    ///   (finitely many values occur at all), so they are reported satisfied.
+    /// * Tuple inequalities are checked for all position tuples up to
+    ///   `horizon` positions (defaults to the prefix plus three periods when
+    ///   `None`). On an ultimately periodic run, value patterns and selector
+    ///   acceptance are eventually periodic, so violations show up within a
+    ///   small horizon; the experiments use explicitly larger horizons.
+    pub fn check_lasso_run(
+        &self,
+        db: &rega_data::Database,
+        run: &LassoRun,
+        horizon: Option<usize>,
+    ) -> Result<(), crate::error::CoreError> {
+        self.ext.check_lasso_run(db, run)?;
+        let trace = run.state_trace();
+        let h = horizon.unwrap_or(run.loop_start + 3 * run.period());
+        for (ci, c) in self.tuple_neq.iter().enumerate() {
+            let l = c.arity();
+            // Enumerate all (ᾱ, β̄) ∈ [0,h)^{2l}. A tuple can only violate
+            // when the value tuples coincide, so the (cheap) value check
+            // comes first and the (expensive) selector evaluation runs only
+            // on the equal-value tuples.
+            let total = h.pow(2 * l as u32);
+            for flat in 0..total {
+                let mut rest = flat;
+                let mut ps = Vec::with_capacity(2 * l);
+                for _ in 0..2 * l {
+                    ps.push(rest % h);
+                    rest /= h;
+                }
+                let (alphas, betas) = ps.split_at(l);
+                let va = TupleInequality::value_tuple(run, alphas, &c.i_regs);
+                let vb = TupleInequality::value_tuple(run, betas, &c.j_regs);
+                if va == vb && c.is_selected(&trace, alphas, betas) {
+                    return Err(crate::error::CoreError::InvalidRun(format!(
+                        "tuple inequality {ci} violated at ᾱ={alphas:?}, β̄={betas:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of values subject to each finiteness constraint within the
+    /// first `horizon` positions of a lasso run (diagnostic; always finite
+    /// on lassos).
+    pub fn finiteness_value_sets(&self, run: &LassoRun, horizon: usize) -> Vec<BTreeSet<Value>> {
+        let trace = run.state_trace();
+        self.finiteness
+            .iter()
+            .map(|c| {
+                (0..horizon)
+                    .filter(|&m| c.selector.is_selected(&trace, m))
+                    .map(|m| run.config_at(m).regs[c.register.idx()])
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::RegisterAutomaton;
+    use crate::run::Config;
+    use rega_data::{Database, Schema, SigmaType};
+
+    fn two_state_free() -> ExtendedAutomaton {
+        let mut ra = RegisterAutomaton::new(1, Schema::empty());
+        let p = ra.add_state("p");
+        let q = ra.add_state("q");
+        ra.set_initial(p);
+        ra.set_accepting(p);
+        ra.add_transition(p, SigmaType::empty(1), q).unwrap();
+        ra.add_transition(q, SigmaType::empty(1), p).unwrap();
+        ExtendedAutomaton::new(ra)
+    }
+
+    /// Selector for "position is even" on the alternating trace (p q)^ω:
+    /// before-prefix has even length. DFA over {p,q} counting parity.
+    fn even_selector(states: Vec<StateId>) -> PositionSelector {
+        let n = states.len();
+        let before = Dfa::from_parts(
+            states.clone(),
+            0,
+            vec![true, false],
+            vec![vec![1; n], vec![0; n]],
+        );
+        let mut nba = Nba::new(states, 1);
+        nba.set_init(0);
+        nba.set_accepting(0, true);
+        for li in 0..nba.alphabet().len() {
+            let letter = nba.alphabet()[li].clone();
+            nba.add_transition(0, &letter, 0);
+        }
+        PositionSelector {
+            components: vec![(before, nba)],
+        }
+    }
+
+    #[test]
+    fn position_selector_even() {
+        let sel = even_selector(vec![StateId(0), StateId(1)]);
+        let trace = Lasso::periodic(vec![StateId(0), StateId(1)]);
+        assert!(sel.is_selected(&trace, 0));
+        assert!(!sel.is_selected(&trace, 1));
+        assert!(sel.is_selected(&trace, 4));
+        assert!(!sel.is_selected(&trace, 7));
+    }
+
+    #[test]
+    fn shift_lasso_correct() {
+        let l = Lasso::new(vec![StateId(9)], vec![StateId(0), StateId(1)]);
+        let s = shift_lasso(&l, 2);
+        // positions 2,3,4,... of l are 1,0,1,0...
+        assert_eq!(*s.at(0), *l.at(2));
+        assert_eq!(*s.at(1), *l.at(3));
+        assert_eq!(*s.at(5), *l.at(7));
+    }
+
+    #[test]
+    fn finiteness_value_set_on_lasso() {
+        let ext = two_state_free();
+        let states: Vec<StateId> = ext.ra().states().collect();
+        let mut enh = EnhancedAutomaton::new(ext);
+        enh.add_finiteness(FinitenessConstraint {
+            register: RegIdx(0),
+            selector: PositionSelector::all(states),
+        });
+        let p = StateId(0);
+        let q = StateId(1);
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(q, vec![Value(2)]),
+            ],
+            vec![crate::automaton::TransId(0), crate::automaton::TransId(1)],
+            0,
+        );
+        let sets = enh.finiteness_value_sets(&run, 10);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 2);
+    }
+
+    /// Tuple inequality of arity 1: α at even positions, β at odd positions
+    /// (values at even and odd positions must differ).
+    fn even_odd_neq(states: Vec<StateId>) -> TupleInequality {
+        // Marked NBA: read letters; require exactly one α-mark (bit 0) at an
+        // even position and one β-mark (bit 1) at an odd position.
+        // States: (parity, seen_alpha, seen_beta) → index.
+        let mut alphabet = Vec::new();
+        for s in &states {
+            for mark in 0..4u32 {
+                alphabet.push((*s, mark));
+            }
+        }
+        let idx = |par: usize, sa: usize, sb: usize| par + 2 * sa + 4 * sb;
+        let mut nba = Nba::new(alphabet.clone(), 8);
+        nba.set_init(idx(0, 0, 0));
+        for par in 0..2 {
+            for sa in 0..2 {
+                for sb in 0..2 {
+                    let s = idx(par, sa, sb);
+                    nba.set_accepting(s, sa == 1 && sb == 1);
+                    for letter in &alphabet {
+                        let (_, mark) = *letter;
+                        let want_a = mark & 1 != 0;
+                        let want_b = mark & 2 != 0;
+                        // α only at even, β only at odd; no double-marking.
+                        if want_a && (par != 0 || sa == 1) {
+                            continue;
+                        }
+                        if want_b && (par != 1 || sb == 1) {
+                            continue;
+                        }
+                        let t = idx(
+                            1 - par,
+                            sa.max(usize::from(want_a)),
+                            sb.max(usize::from(want_b)),
+                        );
+                        nba.add_transition(s, letter, t);
+                    }
+                }
+            }
+        }
+        TupleInequality {
+            i_regs: vec![RegIdx(0)],
+            j_regs: vec![RegIdx(0)],
+            selector: nba,
+        }
+    }
+
+    #[test]
+    fn tuple_inequality_even_vs_odd() {
+        let ext = two_state_free();
+        let states: Vec<StateId> = ext.ra().states().collect();
+        let mut enh = EnhancedAutomaton::new(ext);
+        enh.add_tuple_inequality(even_odd_neq(states));
+        let db = Database::new(Schema::empty());
+        let p = StateId(0);
+        let q = StateId(1);
+        let good = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(q, vec![Value(2)]),
+            ],
+            vec![crate::automaton::TransId(0), crate::automaton::TransId(1)],
+            0,
+        );
+        assert!(enh.check_lasso_run(&db, &good, None).is_ok());
+        // Same value at even and odd positions: violation.
+        let bad = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(q, vec![Value(1)]),
+            ],
+            vec![crate::automaton::TransId(0), crate::automaton::TransId(1)],
+            0,
+        );
+        assert!(enh.check_lasso_run(&db, &bad, None).is_err());
+    }
+
+    #[test]
+    fn tuple_selector_marks_positions() {
+        let ext = two_state_free();
+        let states: Vec<StateId> = ext.ra().states().collect();
+        let c = even_odd_neq(states);
+        let trace = Lasso::periodic(vec![StateId(0), StateId(1)]);
+        assert!(c.is_selected(&trace, &[0], &[1]));
+        assert!(c.is_selected(&trace, &[2], &[5]));
+        assert!(!c.is_selected(&trace, &[1], &[2])); // α must be even
+        assert!(!c.is_selected(&trace, &[0], &[2])); // β must be odd
+    }
+}

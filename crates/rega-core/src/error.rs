@@ -1,0 +1,83 @@
+//! Error type for automaton construction and analysis.
+
+use rega_data::DataError;
+use std::fmt;
+
+/// Errors produced when building or manipulating automata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A data-layer error (bad type, unknown symbol, …).
+    Data(DataError),
+    /// A state id is out of range.
+    UnknownState(u32),
+    /// A transition id is out of range.
+    UnknownTransition(u32),
+    /// Two automata or components disagree on the number of registers.
+    RegisterCountMismatch {
+        /// Expected number of registers.
+        expected: u16,
+        /// Number of registers found.
+        got: u16,
+    },
+    /// A constraint refers to a register out of range.
+    ConstraintRegisterOutOfRange {
+        /// The offending register index.
+        index: u16,
+        /// The number of registers.
+        k: u16,
+    },
+    /// A regular-expression constraint mentions a state not in the automaton.
+    ConstraintUnknownState(String),
+    /// An operation needs a complete automaton but the automaton is not
+    /// complete.
+    NotComplete,
+    /// An operation needs a state-driven automaton.
+    NotStateDriven,
+    /// An operation needs an automaton without a database (empty schema).
+    SchemaNotEmpty,
+    /// A run is structurally invalid (described by the message).
+    InvalidRun(String),
+    /// A search or decision procedure exceeded its configured budget.
+    BudgetExceeded(String),
+    /// The projection construction does not cover this input (described by
+    /// the message); see the `rega-views` documentation for the supported
+    /// fragment.
+    UnsupportedProjection(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Data(e) => write!(f, "{e}"),
+            CoreError::UnknownState(s) => write!(f, "unknown state id {s}"),
+            CoreError::UnknownTransition(t) => write!(f, "unknown transition id {t}"),
+            CoreError::RegisterCountMismatch { expected, got } => {
+                write!(f, "register count mismatch: expected {expected}, got {got}")
+            }
+            CoreError::ConstraintRegisterOutOfRange { index, k } => {
+                write!(f, "constraint register {index} out of range (k = {k})")
+            }
+            CoreError::ConstraintUnknownState(name) => {
+                write!(f, "constraint mentions unknown state `{name}`")
+            }
+            CoreError::NotComplete => write!(f, "automaton is not complete"),
+            CoreError::NotStateDriven => write!(f, "automaton is not state-driven"),
+            CoreError::SchemaNotEmpty => {
+                write!(f, "operation requires an automaton without a database")
+            }
+            CoreError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
+            CoreError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
+            CoreError::UnsupportedProjection(msg) => {
+                write!(f, "unsupported projection input: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}

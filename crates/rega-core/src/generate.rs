@@ -1,0 +1,247 @@
+//! Random automaton generation, for property-based tests and benchmark
+//! workloads.
+//!
+//! The generator produces *valid* automata by construction: every type is
+//! satisfiable (unsatisfiable random draws are repaired by dropping
+//! literals), every state lies on a path from an initial state, and at
+//! least one accepting state is reachable on a cycle (so the automaton has
+//! symbolic control traces).
+
+use crate::automaton::RegisterAutomaton;
+use crate::extended::{ConstraintKind, ExtendedAutomaton};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rega_data::{Literal, RegIdx, Schema, SigmaType, Term};
+
+/// Parameters for [`random_automaton`].
+#[derive(Clone, Copy, Debug)]
+pub struct GenParams {
+    /// Number of states.
+    pub states: usize,
+    /// Number of registers.
+    pub k: u16,
+    /// Transitions per state (at least 1).
+    pub out_degree: usize,
+    /// Expected number of (in)equality literals per type.
+    pub literals_per_type: usize,
+    /// Number of unary relations in the schema (0 = no database).
+    pub unary_relations: usize,
+    /// Probability that a type queries a relation.
+    pub relational_probability: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            states: 3,
+            k: 2,
+            out_degree: 2,
+            literals_per_type: 2,
+            unary_relations: 0,
+            relational_probability: 0.3,
+        }
+    }
+}
+
+fn random_term(rng: &mut StdRng, k: u16) -> Term {
+    let i = rng.gen_range(0..k);
+    if rng.gen_bool(0.5) {
+        Term::x(i)
+    } else {
+        Term::y(i)
+    }
+}
+
+/// Generates a random register automaton. All states are initial-reachable;
+/// state 0 is initial; a random non-empty subset of states is accepting.
+pub fn random_automaton(params: &GenParams, seed: u64) -> RegisterAutomaton {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schema = Schema::empty();
+    for r in 0..params.unary_relations {
+        schema
+            .add_relation(&format!("U{r}"), 1)
+            .expect("unique names");
+    }
+    let mut ra = RegisterAutomaton::new(params.k, schema.clone());
+    for s in 0..params.states {
+        ra.add_state(&format!("s{s}"));
+    }
+    let states: Vec<_> = ra.states().collect();
+    ra.set_initial(states[0]);
+    // Random accepting subset (non-empty).
+    let acc = rng.gen_range(0..params.states);
+    ra.set_accepting(states[acc]);
+    for &s in &states {
+        if rng.gen_bool(0.4) {
+            ra.set_accepting(s);
+        }
+    }
+
+    for &from in &states {
+        for d in 0..params.out_degree.max(1) {
+            // Target: chain to keep everything reachable, plus random jumps.
+            let to = if d == 0 {
+                states[(from.idx() + 1) % params.states]
+            } else {
+                states[rng.gen_range(0..params.states)]
+            };
+            // Random satisfiable type: draw literals, drop offenders.
+            let mut ty = SigmaType::empty(params.k);
+            for _ in 0..params.literals_per_type {
+                if params.k == 0 {
+                    break;
+                }
+                let lit = if rng.gen_bool(0.6) {
+                    Literal::eq(random_term(&mut rng, params.k), random_term(&mut rng, params.k))
+                } else {
+                    Literal::neq(random_term(&mut rng, params.k), random_term(&mut rng, params.k))
+                };
+                let candidate = ty.with(lit);
+                if candidate.is_satisfiable(&schema) {
+                    ty = candidate;
+                }
+            }
+            if params.unary_relations > 0
+                && params.k > 0
+                && rng.gen_bool(params.relational_probability)
+            {
+                let rel = rega_data::RelSym(rng.gen_range(0..params.unary_relations) as u32);
+                let term = random_term(&mut rng, params.k);
+                let lit = if rng.gen_bool(0.7) {
+                    Literal::rel(rel, vec![term])
+                } else {
+                    Literal::not_rel(rel, vec![term])
+                };
+                let candidate = ty.with(lit);
+                if candidate.is_satisfiable(&schema) {
+                    ty = candidate;
+                }
+            }
+            ra.add_transition(from, ty, to)
+                .expect("satisfiable by construction");
+        }
+    }
+    ra
+}
+
+/// Wraps a random automaton with random global constraints (over the full
+/// state alphabet, so every factor window of the given shapes applies).
+pub fn random_extended(
+    params: &GenParams,
+    n_constraints: usize,
+    seed: u64,
+) -> ExtendedAutomaton {
+    let ra = random_automaton(params, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
+    let states: Vec<_> = ra.states().collect();
+    let mut ext = ExtendedAutomaton::new(ra);
+    for _ in 0..n_constraints {
+        if params.k == 0 {
+            break;
+        }
+        let kind = if rng.gen_bool(0.5) {
+            ConstraintKind::Equal
+        } else {
+            ConstraintKind::NotEqual
+        };
+        let i = RegIdx(rng.gen_range(0..params.k));
+        let j = RegIdx(rng.gen_range(0..params.k));
+        // Shape: a b* c over random states — factors with fixed endpoints.
+        let a = states[rng.gen_range(0..states.len())];
+        let b = states[rng.gen_range(0..states.len())];
+        let c = states[rng.gen_range(0..states.len())];
+        let regex = rega_automata::Regex::Concat(vec![
+            rega_automata::Regex::Sym(a),
+            rega_automata::Regex::Star(Box::new(rega_automata::Regex::Sym(b))),
+            rega_automata::Regex::Sym(c),
+        ]);
+        if kind == ConstraintKind::Equal || a != c || a == b {
+            // Avoid the degenerate single-position self-inequality
+            // `a` (length-1 factor with i = j), which is unsatisfiable.
+            if kind == ConstraintKind::NotEqual && a == c && i == j {
+                continue;
+            }
+            ext.add_constraint(kind, i, j, regex).expect("valid");
+        }
+    }
+    ext
+}
+
+/// Like [`random_extended`], but all constraints are equalities — the
+/// Proposition 6 input class.
+pub fn random_extended_equalities(
+    params: &GenParams,
+    n_constraints: usize,
+    seed: u64,
+) -> ExtendedAutomaton {
+    let ra = random_automaton(params, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x51ed_270b));
+    let states: Vec<_> = ra.states().collect();
+    let mut ext = ExtendedAutomaton::new(ra);
+    for _ in 0..n_constraints {
+        if params.k == 0 {
+            break;
+        }
+        let i = RegIdx(rng.gen_range(0..params.k));
+        let j = RegIdx(rng.gen_range(0..params.k));
+        let a = states[rng.gen_range(0..states.len())];
+        let b = states[rng.gen_range(0..states.len())];
+        let c = states[rng.gen_range(0..states.len())];
+        let regex = rega_automata::Regex::Concat(vec![
+            rega_automata::Regex::Sym(a),
+            rega_automata::Regex::Star(Box::new(rega_automata::Regex::Sym(b))),
+            rega_automata::Regex::Sym(c),
+        ]);
+        ext.add_constraint(ConstraintKind::Equal, i, j, regex)
+            .expect("valid");
+    }
+    ext
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_automata_are_valid() {
+        for seed in 0..20 {
+            let ra = random_automaton(&GenParams::default(), seed);
+            assert_eq!(ra.num_states(), 3);
+            assert!(ra.num_transitions() >= 3);
+            for t in ra.transition_ids() {
+                assert!(ra.transition(t).ty.is_satisfiable(ra.schema()));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_automaton(&GenParams::default(), 7);
+        let b = random_automaton(&GenParams::default(), 7);
+        assert_eq!(a.num_transitions(), b.num_transitions());
+        for t in a.transition_ids() {
+            assert_eq!(a.transition(t).ty, b.transition(t).ty);
+        }
+    }
+
+    #[test]
+    fn extended_generation_adds_constraints() {
+        let ext = random_extended(&GenParams::default(), 3, 11);
+        assert!(ext.constraints().len() <= 3);
+    }
+
+    #[test]
+    fn relational_generation() {
+        let params = GenParams {
+            unary_relations: 2,
+            relational_probability: 1.0,
+            ..Default::default()
+        };
+        let ra = random_automaton(&params, 3);
+        assert_eq!(ra.schema().num_relations(), 2);
+        let uses_relation = ra
+            .transition_ids()
+            .any(|t| ra.transition(t).ty.literals().any(|l| matches!(l, Literal::Rel { .. })));
+        assert!(uses_relation);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Register automata and their extensions, after *Projection Views of
+//! Register Automata* (Segoufin & Vianu, PODS 2020).
+//!
+//! The crate provides the three automaton models of the paper:
+//!
+//! * [`RegisterAutomaton`] — database-driven register automata with Büchi
+//!   acceptance (Section 2);
+//! * [`ExtendedAutomaton`] — register automata augmented with global regular
+//!   (in)equality constraints (Section 3);
+//! * [`EnhancedAutomaton`] — extended automata further augmented with
+//!   finiteness and tuple-inequality constraints (Section 6);
+//!
+//! together with runs and traces ([`run`], [`traces`]), symbolic control
+//! traces and their Büchi automata ([`symbolic`]), the completion and
+//! state-driven normal forms ([`transform`]), incremental global-constraint
+//! monitors ([`monitor`]), run search/simulation over concrete databases
+//! ([`simulate`]), and executable versions of the paper's running examples
+//! ([`paper`]).
+
+pub mod automaton;
+pub mod dot;
+pub mod enhanced;
+pub mod generate;
+pub mod error;
+pub mod extended;
+pub mod monitor;
+pub mod paper;
+pub mod run;
+pub mod simulate;
+pub mod spec;
+pub mod symbolic;
+pub mod traces;
+pub mod transform;
+
+pub use automaton::{RegisterAutomaton, StateId, TransId, Transition};
+pub use enhanced::{EnhancedAutomaton, FinitenessConstraint, PositionSelector, TupleInequality};
+pub use error::CoreError;
+pub use extended::{ConstraintKind, ExtendedAutomaton, GlobalConstraint};
+pub use run::{Config, FiniteRun, LassoRun};

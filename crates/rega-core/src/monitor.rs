@@ -1,0 +1,214 @@
+//! Incremental monitors for the global constraints of extended automata.
+//!
+//! The streaming interpretation of a constraint `eᵢⱼ`: at every position `n`
+//! a monitor run starts in the constraint DFA (capturing the candidate
+//! factor start `n`, with the value `d_n[i]`); every active run advances on
+//! each state letter; whenever a run is in an accepting DFA state at
+//! position `m` the factor `q_n … q_m` matches, and the stored value is
+//! compared against `d_m[j]`.
+//!
+//! Runs in the same DFA state are merged into a value *set* — for `≠`
+//! constraints all stored values must differ from the target, for `=`
+//! constraints all must equal it — which keeps the configuration finite
+//! whenever the run uses finitely many values (the key to exact checking of
+//! lasso runs).
+
+use crate::automaton::StateId;
+use crate::extended::{ConstraintKind, ExtendedAutomaton};
+use rega_data::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A reported constraint violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated constraint in the automaton's constraint list.
+    pub constraint: usize,
+    /// Source register of the constraint.
+    pub i: u16,
+    /// Target register of the constraint.
+    pub j: u16,
+}
+
+/// The monitor state for all constraints of an extended automaton.
+#[derive(Clone, Debug)]
+pub struct ConstraintMonitor<'a> {
+    ext: &'a ExtendedAutomaton,
+    /// Per constraint: DFA state → set of stored source values.
+    active: Vec<BTreeMap<usize, BTreeSet<Value>>>,
+}
+
+impl<'a> ConstraintMonitor<'a> {
+    /// A fresh monitor (no positions consumed yet).
+    pub fn new(ext: &'a ExtendedAutomaton) -> Self {
+        ConstraintMonitor {
+            active: vec![BTreeMap::new(); ext.constraints().len()],
+            ext,
+        }
+    }
+
+    /// Consumes one position of the run (its state and register values).
+    /// Returns a violation if some constraint fires and fails.
+    pub fn step(&mut self, state: StateId, regs: &[Value]) -> Option<Violation> {
+        for (cid, constraint) in self.ext.constraints().iter().enumerate() {
+            let dfa = constraint.dfa();
+            let map = &mut self.active[cid];
+            // Advance existing runs.
+            let mut next: BTreeMap<usize, BTreeSet<Value>> = BTreeMap::new();
+            for (s, vals) in map.iter() {
+                let t = dfa.step(*s, &state);
+                if constraint.is_alive(t) {
+                    next.entry(t).or_default().extend(vals.iter().copied());
+                }
+            }
+            // Spawn the run whose factor starts here.
+            let s0 = dfa.step(dfa.init(), &state);
+            if constraint.is_alive(s0) {
+                next.entry(s0)
+                    .or_default()
+                    .insert(regs[constraint.i.idx()]);
+            }
+            // Fire matches.
+            let target = regs[constraint.j.idx()];
+            for (s, vals) in next.iter() {
+                if !dfa.is_accepting(*s) {
+                    continue;
+                }
+                let violated = match constraint.kind {
+                    ConstraintKind::Equal => vals.iter().any(|&v| v != target),
+                    ConstraintKind::NotEqual => vals.contains(&target),
+                };
+                if violated {
+                    return Some(Violation {
+                        constraint: cid,
+                        i: constraint.i.0,
+                        j: constraint.j.0,
+                    });
+                }
+            }
+            *map = next;
+        }
+        None
+    }
+
+    /// A canonical byte fingerprint of the configuration, used to detect
+    /// repetition when checking lasso runs.
+    pub fn fingerprint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for map in &self.active {
+            out.extend_from_slice(&(map.len() as u64).to_le_bytes());
+            for (s, vals) in map {
+                out.extend_from_slice(&(*s as u64).to_le_bytes());
+                out.extend_from_slice(&(vals.len() as u64).to_le_bytes());
+                for v in vals {
+                    out.extend_from_slice(&v.raw().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of active (state, value) pairs — used by the streaming
+    /// ablation experiment E12.
+    pub fn active_size(&self) -> usize {
+        self.active
+            .iter()
+            .map(|m| m.values().map(|v| v.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::RegisterAutomaton;
+    use rega_data::{RegIdx, Schema, SigmaType};
+
+    /// Single-state automaton with an equality constraint matching factors
+    /// of length exactly 3 (value must return after two steps).
+    fn every_other_equal() -> ExtendedAutomaton {
+        let mut ra = RegisterAutomaton::new(1, Schema::empty());
+        let q = ra.add_state("q");
+        ra.set_initial(q);
+        ra.set_accepting(q);
+        ra.add_transition(q, SigmaType::empty(1), q).unwrap();
+        let mut ext = ExtendedAutomaton::new(ra);
+        ext.add_constraint_str(ConstraintKind::Equal, RegIdx(0), RegIdx(0), "q q q")
+            .unwrap();
+        ext
+    }
+
+    #[test]
+    fn equality_constraint_fires_at_distance_two() {
+        let ext = every_other_equal();
+        let q = StateId(0);
+        let mut m = ConstraintMonitor::new(&ext);
+        assert!(m.step(q, &[Value(1)]).is_none());
+        assert!(m.step(q, &[Value(2)]).is_none());
+        // position 2 must equal position 0
+        assert!(m.step(q, &[Value(1)]).is_none());
+        // position 3 must equal position 1: violate it
+        assert_eq!(
+            m.step(q, &[Value(9)]),
+            Some(Violation {
+                constraint: 0,
+                i: 0,
+                j: 0
+            })
+        );
+    }
+
+    #[test]
+    fn inequality_constraint() {
+        let mut ra = RegisterAutomaton::new(1, Schema::empty());
+        let q = ra.add_state("q");
+        ra.set_initial(q);
+        ra.set_accepting(q);
+        ra.add_transition(q, SigmaType::empty(1), q).unwrap();
+        let mut ext = ExtendedAutomaton::new(ra);
+        // consecutive values must differ
+        ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "q q")
+            .unwrap();
+        let mut m = ConstraintMonitor::new(&ext);
+        assert!(m.step(StateId(0), &[Value(1)]).is_none());
+        assert!(m.step(StateId(0), &[Value(2)]).is_none());
+        assert!(m.step(StateId(0), &[Value(2)]).is_some());
+    }
+
+    #[test]
+    fn fingerprint_detects_periodicity() {
+        let ext = every_other_equal();
+        let q = StateId(0);
+        let mut m = ConstraintMonitor::new(&ext);
+        let mut prints = Vec::new();
+        for step in 0..8 {
+            m.step(q, &[Value(step % 2)]);
+            prints.push(m.fingerprint());
+        }
+        // After warm-up the configuration is 2-periodic.
+        assert_eq!(prints[4], prints[6]);
+        assert_eq!(prints[5], prints[7]);
+    }
+
+    #[test]
+    fn dead_runs_are_pruned() {
+        // Constraint only matches factors "q p": runs die in state p-less
+        // automaton paths.
+        let mut ra = RegisterAutomaton::new(1, Schema::empty());
+        let q = ra.add_state("q");
+        let p = ra.add_state("p");
+        ra.set_initial(q);
+        ra.set_accepting(q);
+        ra.add_transition(q, SigmaType::empty(1), q).unwrap();
+        ra.add_transition(q, SigmaType::empty(1), p).unwrap();
+        ra.add_transition(p, SigmaType::empty(1), q).unwrap();
+        let mut ext = ExtendedAutomaton::new(ra);
+        ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "q p")
+            .unwrap();
+        let mut m = ConstraintMonitor::new(&ext);
+        // staying in q forever: all spawned runs die immediately after "q q"
+        for v in 0..5 {
+            assert!(m.step(StateId(0), &[Value(v)]).is_none());
+        }
+        assert!(m.active_size() <= 1); // only the freshly spawned run lives
+    }
+}

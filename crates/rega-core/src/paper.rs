@@ -1,0 +1,371 @@
+//! Executable versions of the paper's running examples.
+//!
+//! Each function builds exactly the automaton described in the corresponding
+//! example of *Projection Views of Register Automata*; they are used by the
+//! test and experiment suites (E1, E5, E8, E10) and by the runnable examples.
+
+use crate::automaton::{RegisterAutomaton, TransId};
+use crate::extended::{ConstraintKind, ExtendedAutomaton};
+use rega_data::{Literal, RegIdx, Schema, SigmaType, Term};
+
+/// **Example 1.** The 2-register automaton `A` with states `q1, q2`
+/// (initial and accepting `q1`), no database, and transitions
+/// `(q1, δ1, q2), (q2, δ2, q2), (q2, δ3, q1)` where
+/// `δ1 = (x1=x2 ∧ x2=y2)`, `δ2 = (x2=y2)`, `δ3 = (x2=y2 ∧ y1=y2)`.
+///
+/// Register 2 carries the initial value `d` forever; register 1 equals `d`
+/// exactly at the `q1`-positions.
+pub fn example1() -> (RegisterAutomaton, Vec<TransId>) {
+    let mut a = RegisterAutomaton::new(2, Schema::empty());
+    let q1 = a.add_state("q1");
+    let q2 = a.add_state("q2");
+    a.set_initial(q1);
+    a.set_accepting(q1);
+    let d1 = SigmaType::new(
+        2,
+        [
+            Literal::eq(Term::x(0), Term::x(1)),
+            Literal::eq(Term::x(1), Term::y(1)),
+        ],
+    );
+    let d2 = SigmaType::new(2, [Literal::eq(Term::x(1), Term::y(1))]);
+    let d3 = SigmaType::new(
+        2,
+        [
+            Literal::eq(Term::x(1), Term::y(1)),
+            Literal::eq(Term::y(0), Term::y(1)),
+        ],
+    );
+    let t1 = a.add_transition(q1, d1, q2).expect("valid");
+    let t2 = a.add_transition(q2, d2, q2).expect("valid");
+    let t3 = a.add_transition(q2, d3, q1).expect("valid");
+    (a, vec![t1, t2, t3])
+}
+
+/// **Example 5.** The extended automaton `B = (B, Σ)` describing the
+/// projection of Example 1's runs on the first register: one register,
+/// states `p1` (initial, accepting) and `p2`, trivial transition types, and
+/// the global equality constraint `e=₁₁ = p1 p2* p1` forcing a single data
+/// value `d` at every `p1`-position.
+///
+/// (The paper lists only transitions `(p1,γ,p2), (p2,γ,p2)`; a `p2 → p1`
+/// transition is required for `p1` to recur, as its Büchi condition and the
+/// intended traces `(q1 q2⁺)^ω` demand, so we include it.)
+pub fn example5() -> ExtendedAutomaton {
+    let mut b = RegisterAutomaton::new(1, Schema::empty());
+    let p1 = b.add_state("p1");
+    let p2 = b.add_state("p2");
+    b.set_initial(p1);
+    b.set_accepting(p1);
+    let gamma = SigmaType::empty(1);
+    b.add_transition(p1, gamma.clone(), p2).expect("valid");
+    b.add_transition(p2, gamma.clone(), p2).expect("valid");
+    b.add_transition(p2, gamma, p1).expect("valid");
+    let mut ext = ExtendedAutomaton::new(b);
+    ext.add_constraint_str(ConstraintKind::Equal, RegIdx(0), RegIdx(0), "p1 p2* p1")
+        .expect("valid constraint");
+    ext
+}
+
+/// **Example 7.** The extended automaton with one register, one state, a
+/// trivial looping transition, and a global inequality constraint making
+/// *all* register values of a run pairwise distinct (factors of length ≥ 2:
+/// `e≠₁₁ = q q q*`).
+///
+/// The paper shows no register automaton — with any number of registers —
+/// has the same register traces (see Example 17).
+pub fn example7() -> ExtendedAutomaton {
+    let mut a = RegisterAutomaton::new(1, Schema::empty());
+    let q = a.add_state("q");
+    a.set_initial(q);
+    a.set_accepting(q);
+    a.add_transition(q, SigmaType::empty(1), q).expect("valid");
+    let mut ext = ExtendedAutomaton::new(a);
+    ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "q q q*")
+        .expect("valid constraint");
+    ext
+}
+
+/// **Example 8.** An extended automaton whose state traces are *not*
+/// ω-regular: one register, states `p, q`, a unary database relation `P`
+/// with every transition requiring `P(x1)`, and a constraint making the
+/// register values within any `q`-free block of `p`s pairwise distinct
+/// (`e≠₁₁ = p p p*`).
+///
+/// On a database with `|P| = N`, no run can stay in `p` for more than `N`
+/// consecutive positions — a non-ω-regular bound on the state traces.
+pub fn example8() -> ExtendedAutomaton {
+    let schema = Schema::with(&[("P", 1)], &[]);
+    let p_rel = schema.relation("P").expect("declared");
+    let mut a = RegisterAutomaton::new(1, schema);
+    let p = a.add_state("p");
+    let q = a.add_state("q");
+    a.set_initial(p);
+    a.set_accepting(p);
+    a.set_accepting(q);
+    let ty = SigmaType::new(1, [Literal::rel(p_rel, vec![Term::x(0)])]);
+    for from in [p, q] {
+        for to in [p, q] {
+            a.add_transition(from, ty.clone(), to).expect("valid");
+        }
+    }
+    let mut ext = ExtendedAutomaton::new(a);
+    ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "p p p*")
+        .expect("valid constraint");
+    ext
+}
+
+/// **Example 16**, automaton `𝒜`: one register, one state, and the local
+/// type `x1 ≠ y1` (the value changes at every step); no global constraints.
+/// This automaton is LR-bounded.
+pub fn example16_a() -> ExtendedAutomaton {
+    let mut a = RegisterAutomaton::new(1, Schema::empty());
+    let q = a.add_state("q");
+    a.set_initial(q);
+    a.set_accepting(q);
+    a.add_transition(q, SigmaType::new(1, [Literal::neq(Term::x(0), Term::y(0))]), q)
+        .expect("valid");
+    ExtendedAutomaton::new(a)
+}
+
+/// **Example 16**, automaton `𝒜′`: states `p, q` (both initial and
+/// accepting), self-loops with `x1 ≠ y1`, plus the global constraint
+/// `e≠₁₁ = p p p*` making runs that start in `p` pairwise distinct.
+/// `𝒜′` is register-trace equivalent to [`example16_a`] but *not*
+/// LR-bounded — LR-boundedness is syntactic, not semantic.
+pub fn example16_a_prime() -> ExtendedAutomaton {
+    let mut a = RegisterAutomaton::new(1, Schema::empty());
+    let q = a.add_state("q");
+    let p = a.add_state("p");
+    a.set_initial(q);
+    a.set_initial(p);
+    a.set_accepting(q);
+    a.set_accepting(p);
+    let ty = SigmaType::new(1, [Literal::neq(Term::x(0), Term::y(0))]);
+    a.add_transition(q, ty.clone(), q).expect("valid");
+    a.add_transition(p, ty, p).expect("valid");
+    let mut ext = ExtendedAutomaton::new(a);
+    ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "p p p*")
+        .expect("valid constraint");
+    ext
+}
+
+/// **Example 23.** The register automaton with a database that no extended
+/// automaton can project: 2 registers, states `p` (initial, accepting) and
+/// `q`, a binary edge relation `E` and unary `U`. Register 2 never changes
+/// and register 1 stays in `U`; the `p → q` transition requires
+/// `E(x2, x1)`, the `q → p` transition requires `¬E(x2, x1)`.
+///
+/// Projected on register 1, the runs are the sequences of `U`-nodes for
+/// which some node points (via `E`) to exactly the values at even positions.
+pub fn example23() -> RegisterAutomaton {
+    let schema = Schema::with(&[("E", 2), ("U", 1)], &[]);
+    let e = schema.relation("E").expect("declared");
+    let u = schema.relation("U").expect("declared");
+    let mut a = RegisterAutomaton::new(2, schema);
+    let p = a.add_state("p");
+    let q = a.add_state("q");
+    a.set_initial(p);
+    a.set_accepting(p);
+    let base = [
+        Literal::eq(Term::x(1), Term::y(1)),
+        Literal::rel(u, vec![Term::x(0)]),
+    ];
+    let mut delta = SigmaType::new(2, base.clone());
+    delta.add(Literal::rel(e, vec![Term::x(1), Term::x(0)]));
+    let mut delta_prime = SigmaType::new(2, base);
+    delta_prime.add(Literal::not_rel(e, vec![Term::x(1), Term::x(0)]));
+    a.add_transition(p, delta, q).expect("valid");
+    a.add_transition(q, delta_prime, p).expect("valid");
+    a
+}
+
+/// **Section 6's ternary variant of Example 23**: `E` is ternary and the
+/// transitions relate *consecutive* visible values to the hidden constant:
+/// `δ` contains `E(x1, x2, y1)` and `δ′` contains `¬E(x1, x2, y1)`. A
+/// single visible value may now repeat across parities, but the *pair* of
+/// consecutive visible values at an even position must never equal the
+/// pair at an odd position — the situation motivating tuple inequality
+/// constraints of arity 2.
+pub fn example23_ternary() -> RegisterAutomaton {
+    let schema = Schema::with(&[("E", 3), ("U", 1)], &[]);
+    let e = schema.relation("E").expect("declared");
+    let u = schema.relation("U").expect("declared");
+    let mut a = RegisterAutomaton::new(2, schema);
+    let p = a.add_state("p");
+    let q = a.add_state("q");
+    a.set_initial(p);
+    a.set_accepting(p);
+    let base = [
+        Literal::eq(Term::x(1), Term::y(1)),
+        Literal::rel(u, vec![Term::x(0)]),
+    ];
+    let mut delta = SigmaType::new(2, base.clone());
+    delta.add(Literal::rel(e, vec![Term::x(0), Term::x(1), Term::y(0)]));
+    let mut delta_prime = SigmaType::new(2, base);
+    delta_prime.add(Literal::not_rel(e, vec![Term::x(0), Term::x(1), Term::y(0)]));
+    a.add_transition(p, delta, q).expect("valid");
+    a.add_transition(q, delta_prime, p).expect("valid");
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{Config, LassoRun};
+    use rega_data::{Database, Value};
+
+    #[test]
+    fn example1_shape() {
+        let (a, ts) = example1();
+        assert_eq!(a.k(), 2);
+        assert_eq!(a.num_states(), 2);
+        assert_eq!(ts.len(), 3);
+        assert!(!a.is_state_driven()); // q2 has two distinct outgoing types
+        assert!(!a.is_complete().unwrap());
+    }
+
+    #[test]
+    fn example1_typical_run_validates() {
+        // (d1 d1, q1, δ1)(d2 d1, q2, δ2)(d3 d1, q2, δ2)(d4 d1, q2, δ3) loop
+        // back to (d1 d1, q1, δ1).
+        let (a, ts) = example1();
+        let q1 = a.state_by_name("q1").unwrap();
+        let q2 = a.state_by_name("q2").unwrap();
+        let d = |v: u64| Value(v);
+        let run = LassoRun::new(
+            vec![
+                Config::new(q1, vec![d(1), d(1)]),
+                Config::new(q2, vec![d(2), d(1)]),
+                Config::new(q2, vec![d(3), d(1)]),
+                Config::new(q2, vec![d(4), d(1)]),
+            ],
+            vec![ts[0], ts[1], ts[1], ts[2]],
+            0,
+        );
+        let db = Database::new(Schema::empty());
+        assert!(run.validate(&a, &db).is_ok());
+    }
+
+    #[test]
+    fn example1_register2_must_be_constant() {
+        let (a, ts) = example1();
+        let q1 = a.state_by_name("q1").unwrap();
+        let q2 = a.state_by_name("q2").unwrap();
+        let run = LassoRun::new(
+            vec![
+                Config::new(q1, vec![Value(1), Value(1)]),
+                Config::new(q2, vec![Value(2), Value(9)]), // register 2 changed
+            ],
+            vec![ts[0], ts[2]],
+            0,
+        );
+        let db = Database::new(Schema::empty());
+        assert!(run.validate(&a, &db).is_err());
+    }
+
+    #[test]
+    fn example8_constraint_bounds_p_blocks() {
+        let ext = example8();
+        let schema = ext.ra().schema().clone();
+        let prel = schema.relation("P").unwrap();
+        let mut db = Database::new(schema);
+        db.insert(prel, vec![Value(1)]).unwrap();
+        db.insert(prel, vec![Value(2)]).unwrap();
+        let p = ext.ra().state_by_name("p").unwrap();
+        let t_pp = ext
+            .ra()
+            .outgoing(p)
+            .iter()
+            .copied()
+            .find(|&t| ext.ra().transition(t).to == p)
+            .unwrap();
+        // p p p with values 1,2,1: positions 0 and 2 must differ but hold 1.
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(p, vec![Value(2)]),
+                Config::new(p, vec![Value(1)]),
+            ],
+            vec![t_pp, t_pp, t_pp],
+            0,
+        );
+        assert!(ext.check_lasso_run(&db, &run).is_err());
+    }
+
+    #[test]
+    fn example8_alternation_through_q_is_fine() {
+        let ext = example8();
+        let schema = ext.ra().schema().clone();
+        let prel = schema.relation("P").unwrap();
+        let mut db = Database::new(schema);
+        db.insert(prel, vec![Value(1)]).unwrap();
+        db.insert(prel, vec![Value(2)]).unwrap();
+        let p = ext.ra().state_by_name("p").unwrap();
+        let q = ext.ra().state_by_name("q").unwrap();
+        let find = |from, to| {
+            ext.ra()
+                .outgoing(from)
+                .iter()
+                .copied()
+                .find(|&t| ext.ra().transition(t).to == to)
+                .unwrap()
+        };
+        // p(1) q(1) p(1) q(1) ... same value forever, q breaks the blocks.
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(q, vec![Value(1)]),
+            ],
+            vec![find(p, q), find(q, p)],
+            0,
+        );
+        assert!(ext.check_lasso_run(&db, &run).is_ok());
+    }
+
+    #[test]
+    fn example23_runs_alternate_edge_membership() {
+        let a = example23();
+        let schema = a.schema().clone();
+        let e = schema.relation("E").unwrap();
+        let u = schema.relation("U").unwrap();
+        let mut db = Database::new(schema);
+        let (c, d0, d1) = (Value(100), Value(0), Value(1));
+        db.insert(e, vec![c, d0]).unwrap();
+        db.insert(u, vec![d0]).unwrap();
+        db.insert(u, vec![d1]).unwrap();
+        let p = a.state_by_name("p").unwrap();
+        let q = a.state_by_name("q").unwrap();
+        let t_pq = a.outgoing(p)[0];
+        let t_qp = a.outgoing(q)[0];
+        // d0 at even positions (E(c, d0) holds), d1 at odd (¬E(c, d1)).
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![d0, c]),
+                Config::new(q, vec![d1, c]),
+            ],
+            vec![t_pq, t_qp],
+            0,
+        );
+        assert!(run.validate(&a, &db).is_ok());
+        // Swapping the values breaks both relational literals.
+        let bad = LassoRun::new(
+            vec![
+                Config::new(p, vec![d1, c]),
+                Config::new(q, vec![d0, c]),
+            ],
+            vec![t_pq, t_qp],
+            0,
+        );
+        assert!(bad.validate(&a, &db).is_err());
+    }
+
+    #[test]
+    fn example16_automata_shapes() {
+        let a = example16_a();
+        assert!(a.constraints().is_empty());
+        let ap = example16_a_prime();
+        assert_eq!(ap.constraints().len(), 1);
+        assert_eq!(ap.ra().num_states(), 2);
+    }
+}

@@ -1,0 +1,446 @@
+//! Runs of register automata: finite prefixes and ultimately periodic
+//! (lasso) runs.
+//!
+//! A run of `A` over a database `D` is an *infinite* sequence of triples
+//! `(d̄_n, q_n, δ_n)` (Section 2). Two finite presentations are provided:
+//!
+//! * [`FiniteRun`] — a valid finite prefix of a run (used by the simulator
+//!   and the differential tests);
+//! * [`LassoRun`] — an ultimately periodic run, where both the control and
+//!   the register values repeat with a period. Not every run of a register
+//!   automaton is ultimately periodic (Example 7's all-distinct runs are
+//!   not), but lasso runs suffice as *witnesses* for emptiness and are what
+//!   the decision procedures construct.
+
+use crate::automaton::{RegisterAutomaton, StateId, TransId};
+use crate::error::CoreError;
+use rega_automata::Lasso;
+use rega_data::{Database, Value};
+use std::fmt;
+
+/// A configuration: a control state plus the current register values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    /// The control state.
+    pub state: StateId,
+    /// The register values `d̄` (length `k`).
+    pub regs: Vec<Value>,
+}
+
+impl Config {
+    /// Creates a configuration.
+    pub fn new(state: StateId, regs: Vec<Value>) -> Self {
+        Config { state, regs }
+    }
+}
+
+/// A valid finite prefix of a run: `configs.len() == trans.len() + 1`, and
+/// `trans[i]` fires from `configs[i]` to `configs[i+1]`.
+#[derive(Clone, Debug, Default)]
+pub struct FiniteRun {
+    /// The configurations visited.
+    pub configs: Vec<Config>,
+    /// The transitions fired between consecutive configurations.
+    pub trans: Vec<TransId>,
+}
+
+impl FiniteRun {
+    /// A run prefix consisting of a single initial configuration.
+    pub fn start(config: Config) -> Self {
+        FiniteRun {
+            configs: vec![config],
+            trans: Vec::new(),
+        }
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the prefix is empty (no configurations).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Extends the run by one step.
+    pub fn push(&mut self, t: TransId, config: Config) {
+        self.trans.push(t);
+        self.configs.push(config);
+    }
+
+    /// Checks structural and semantic validity of the prefix against the
+    /// automaton and database (initial state, transition wiring, types).
+    pub fn validate(&self, ra: &RegisterAutomaton, db: &Database) -> Result<(), CoreError> {
+        if self.configs.len() != self.trans.len() + 1 {
+            return Err(CoreError::InvalidRun(
+                "configs must be one longer than trans".into(),
+            ));
+        }
+        let first = &self.configs[0];
+        if !ra.is_initial(first.state) {
+            return Err(CoreError::InvalidRun("first state is not initial".into()));
+        }
+        for (i, &t) in self.trans.iter().enumerate() {
+            let tr = ra.transition(t);
+            let (cur, next) = (&self.configs[i], &self.configs[i + 1]);
+            if tr.from != cur.state || tr.to != next.state {
+                return Err(CoreError::InvalidRun(format!(
+                    "transition {} does not connect step {}",
+                    t.0, i
+                )));
+            }
+            if cur.regs.len() != ra.k() as usize || next.regs.len() != ra.k() as usize {
+                return Err(CoreError::InvalidRun(format!(
+                    "register tuple arity mismatch at step {i}"
+                )));
+            }
+            if !tr.ty.satisfied_by(db, &cur.regs, &next.regs) {
+                return Err(CoreError::InvalidRun(format!(
+                    "type not satisfied at step {i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The register trace of the prefix.
+    pub fn register_trace(&self) -> Vec<Vec<Value>> {
+        self.configs.iter().map(|c| c.regs.clone()).collect()
+    }
+
+    /// The state trace of the prefix.
+    pub fn state_trace(&self) -> Vec<StateId> {
+        self.configs.iter().map(|c| c.state).collect()
+    }
+
+    /// The projection of the register trace to the first `m` registers.
+    pub fn projected_register_trace(&self, m: usize) -> Vec<Vec<Value>> {
+        self.configs
+            .iter()
+            .map(|c| c.regs[..m].to_vec())
+            .collect()
+    }
+}
+
+/// An ultimately periodic run: positions `0, 1, 2, …` visit
+/// `configs[0] … configs[n-1]` and then cycle through
+/// `configs[loop_start] … configs[n-1]` forever. `trans[i]` fires from
+/// position `i` to position `i+1`; the last transition `trans[n-1]` fires
+/// from `configs[n-1]` back to `configs[loop_start]`.
+#[derive(Clone, Debug)]
+pub struct LassoRun {
+    /// The configurations of positions `0..n`.
+    pub configs: Vec<Config>,
+    /// The transitions fired; same length as `configs`.
+    pub trans: Vec<TransId>,
+    /// Index where the loop starts (`< configs.len()`).
+    pub loop_start: usize,
+}
+
+impl LassoRun {
+    /// Creates a lasso run; panics on inconsistent lengths.
+    pub fn new(configs: Vec<Config>, trans: Vec<TransId>, loop_start: usize) -> Self {
+        assert_eq!(configs.len(), trans.len());
+        assert!(loop_start < configs.len());
+        LassoRun {
+            configs,
+            trans,
+            loop_start,
+        }
+    }
+
+    /// Total number of distinct positions stored.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the lasso stores no position (never true for valid lassos).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The period of the loop.
+    pub fn period(&self) -> usize {
+        self.configs.len() - self.loop_start
+    }
+
+    /// The configuration at (infinite-word) position `m`.
+    pub fn config_at(&self, m: usize) -> &Config {
+        if m < self.configs.len() {
+            &self.configs[m]
+        } else {
+            let p = self.period();
+            &self.configs[self.loop_start + (m - self.loop_start) % p]
+        }
+    }
+
+    /// The transition fired at position `m`.
+    pub fn trans_at(&self, m: usize) -> TransId {
+        if m < self.trans.len() {
+            self.trans[m]
+        } else {
+            let p = self.period();
+            self.trans[self.loop_start + (m - self.loop_start) % p]
+        }
+    }
+
+    /// Validity of the lasso run over the automaton and database: initial
+    /// state, transition wiring (including the wrap-around step), type
+    /// satisfaction, and Büchi acceptance (an accepting state in the loop).
+    pub fn validate(&self, ra: &RegisterAutomaton, db: &Database) -> Result<(), CoreError> {
+        if self.configs.is_empty() {
+            return Err(CoreError::InvalidRun("empty lasso".into()));
+        }
+        if !ra.is_initial(self.configs[0].state) {
+            return Err(CoreError::InvalidRun("first state is not initial".into()));
+        }
+        let n = self.configs.len();
+        for i in 0..n {
+            let tr = ra.transition(self.trans[i]);
+            let cur = &self.configs[i];
+            let next = if i + 1 < n {
+                &self.configs[i + 1]
+            } else {
+                &self.configs[self.loop_start]
+            };
+            if tr.from != cur.state || tr.to != next.state {
+                return Err(CoreError::InvalidRun(format!(
+                    "transition {} does not connect position {}",
+                    self.trans[i].0, i
+                )));
+            }
+            if !tr.ty.satisfied_by(db, &cur.regs, &next.regs) {
+                return Err(CoreError::InvalidRun(format!(
+                    "type not satisfied at position {i}"
+                )));
+            }
+        }
+        if !self.configs[self.loop_start..]
+            .iter()
+            .any(|c| ra.is_accepting(c.state))
+        {
+            return Err(CoreError::InvalidRun(
+                "no accepting state in the loop (Büchi condition)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The register trace as an ultimately periodic word of `k`-tuples.
+    pub fn register_trace(&self) -> Lasso<Vec<Value>> {
+        Lasso::new(
+            self.configs[..self.loop_start]
+                .iter()
+                .map(|c| c.regs.clone())
+                .collect(),
+            self.configs[self.loop_start..]
+                .iter()
+                .map(|c| c.regs.clone())
+                .collect(),
+        )
+    }
+
+    /// The state trace as an ultimately periodic word.
+    pub fn state_trace(&self) -> Lasso<StateId> {
+        Lasso::new(
+            self.configs[..self.loop_start]
+                .iter()
+                .map(|c| c.state)
+                .collect(),
+            self.configs[self.loop_start..]
+                .iter()
+                .map(|c| c.state)
+                .collect(),
+        )
+    }
+
+    /// The control trace as an ultimately periodic word of transition ids.
+    pub fn control_trace(&self) -> Lasso<TransId> {
+        Lasso::new(
+            self.trans[..self.loop_start].to_vec(),
+            self.trans[self.loop_start..].to_vec(),
+        )
+    }
+
+    /// Projects the register values to the first `m` registers.
+    pub fn projected_register_trace(&self, m: usize) -> Lasso<Vec<Value>> {
+        self.register_trace().map(|regs| regs[..m].to_vec())
+    }
+
+    /// The first `n` positions as a finite run prefix.
+    pub fn unroll(&self, n: usize) -> FiniteRun {
+        assert!(n >= 1);
+        let configs = (0..n).map(|m| self.config_at(m).clone()).collect();
+        let trans = (0..n - 1).map(|m| self.trans_at(m)).collect();
+        FiniteRun { configs, trans }
+    }
+}
+
+impl fmt::Display for LassoRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.configs.iter().enumerate() {
+            if i == self.loop_start {
+                write!(f, "[loop: ")?;
+            }
+            write!(f, "(q{}; ", c.state.0)?;
+            for (j, v) in c.regs.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ") ")?;
+        }
+        write!(f, "]ω")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_data::{Literal, Schema, SigmaType, Term};
+
+    /// One-register automaton: p --(x1=y1)--> p (value constant forever).
+    fn const_automaton() -> RegisterAutomaton {
+        let mut a = RegisterAutomaton::new(1, Schema::empty());
+        let p = a.add_state("p");
+        a.set_initial(p);
+        a.set_accepting(p);
+        a.add_transition(p, SigmaType::new(1, [Literal::eq(Term::x(0), Term::y(0))]), p)
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn finite_run_validates() {
+        let a = const_automaton();
+        let db = Database::new(Schema::empty());
+        let p = a.state_by_name("p").unwrap();
+        let t = TransId(0);
+        let mut run = FiniteRun::start(Config::new(p, vec![Value(1)]));
+        run.push(t, Config::new(p, vec![Value(1)]));
+        run.push(t, Config::new(p, vec![Value(1)]));
+        assert!(run.validate(&a, &db).is_ok());
+    }
+
+    #[test]
+    fn finite_run_detects_type_violation() {
+        let a = const_automaton();
+        let db = Database::new(Schema::empty());
+        let p = a.state_by_name("p").unwrap();
+        let mut run = FiniteRun::start(Config::new(p, vec![Value(1)]));
+        run.push(TransId(0), Config::new(p, vec![Value(2)]));
+        assert!(run.validate(&a, &db).is_err());
+    }
+
+    #[test]
+    fn lasso_run_validates_and_traces() {
+        let a = const_automaton();
+        let db = Database::new(Schema::empty());
+        let p = a.state_by_name("p").unwrap();
+        let run = LassoRun::new(
+            vec![Config::new(p, vec![Value(5)])],
+            vec![TransId(0)],
+            0,
+        );
+        assert!(run.validate(&a, &db).is_ok());
+        let rt = run.register_trace();
+        assert_eq!(rt.at(0), &vec![Value(5)]);
+        assert_eq!(rt.at(100), &vec![Value(5)]);
+    }
+
+    #[test]
+    fn lasso_run_buchi_condition() {
+        // Make the only accepting state unreachable in the loop.
+        let mut a = RegisterAutomaton::new(0, Schema::empty());
+        let p = a.add_state("p");
+        let q = a.add_state("q");
+        a.set_initial(p);
+        a.set_accepting(p); // accepting state is p, loop stays in q
+        a.add_transition(p, SigmaType::empty(0), q).unwrap();
+        a.add_transition(q, SigmaType::empty(0), q).unwrap();
+        let run = LassoRun::new(
+            vec![Config::new(p, vec![]), Config::new(q, vec![])],
+            vec![TransId(0), TransId(1)],
+            1,
+        );
+        let db = Database::new(Schema::empty());
+        assert!(matches!(
+            run.validate(&a, &db),
+            Err(CoreError::InvalidRun(msg)) if msg.contains("Büchi")
+        ));
+    }
+
+    #[test]
+    fn lasso_wrap_around_checked() {
+        // x1 = y1 forever, but loop wrap changes the value: invalid.
+        let a = const_automaton();
+        let db = Database::new(Schema::empty());
+        let p = a.state_by_name("p").unwrap();
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(p, vec![Value(1)]),
+            ],
+            vec![TransId(0), TransId(0)],
+            0,
+        );
+        assert!(run.validate(&a, &db).is_ok());
+        let bad = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(p, vec![Value(2)]),
+            ],
+            vec![TransId(0), TransId(0)],
+            0,
+        );
+        assert!(bad.validate(&a, &db).is_err());
+    }
+
+    #[test]
+    fn config_and_trans_indexing() {
+        let p = StateId(0);
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(0)]),
+                Config::new(p, vec![Value(1)]),
+                Config::new(p, vec![Value(2)]),
+            ],
+            vec![TransId(0), TransId(1), TransId(2)],
+            1,
+        );
+        // positions: 0 1 2 1 2 1 2 ...
+        assert_eq!(run.config_at(0).regs[0], Value(0));
+        assert_eq!(run.config_at(1).regs[0], Value(1));
+        assert_eq!(run.config_at(2).regs[0], Value(2));
+        assert_eq!(run.config_at(3).regs[0], Value(1));
+        assert_eq!(run.config_at(4).regs[0], Value(2));
+        assert_eq!(run.trans_at(3), TransId(1));
+    }
+
+    #[test]
+    fn unroll_prefix() {
+        let p = StateId(0);
+        let run = LassoRun::new(
+            vec![Config::new(p, vec![Value(7)])],
+            vec![TransId(0)],
+            0,
+        );
+        let fr = run.unroll(4);
+        assert_eq!(fr.configs.len(), 4);
+        assert_eq!(fr.trans.len(), 3);
+    }
+
+    #[test]
+    fn projected_trace() {
+        let p = StateId(0);
+        let run = LassoRun::new(
+            vec![Config::new(p, vec![Value(1), Value(2)])],
+            vec![TransId(0)],
+            0,
+        );
+        let proj = run.projected_register_trace(1);
+        assert_eq!(proj.at(0), &vec![Value(1)]);
+    }
+}

@@ -1,0 +1,556 @@
+//! A textual specification format for (extended) register automata.
+//!
+//! Workflow specifications are configuration, not code; this module lets
+//! them be written as plain text:
+//!
+//! ```text
+//! registers 2
+//! schema { U/1, E/2 }
+//!
+//! state q1 init accept
+//! state q2
+//!
+//! trans q1 -> q2 : x1 = x2, x2 = y2
+//! trans q2 -> q2 : x2 = y2, U(x1)
+//! trans q2 -> q1 : x2 = y2, y1 = y2, !E(x1, y1)
+//!
+//! constraint eq 1 1 : q1 q2* q1
+//! constraint neq 1 1 : q2 q2 q2*
+//! ```
+//!
+//! * `registers k` — number of registers (required, first meaningful line).
+//! * `schema { R/arity, … }` — optional relational signature; `const name`
+//!   entries declare constants.
+//! * `state name [init] [accept]` — declares a state.
+//! * `trans a -> b : literal, …` — a transition; literals are `s = t`,
+//!   `s != t`, `R(t, …)`, `!R(t, …)` over terms `x1…xk`, `y1…yk`, and
+//!   declared constant names.
+//! * `constraint eq|neq i j : regex` — a global constraint with a regular
+//!   expression over state names (Section 3 of the paper).
+//!
+//! `#`-comments and blank lines are ignored. The format round-trips via
+//! [`to_spec`].
+
+use crate::automaton::RegisterAutomaton;
+use crate::error::CoreError;
+use crate::extended::{ConstraintKind, ExtendedAutomaton};
+use rega_data::{Literal, RegIdx, Schema, SigmaType, Term};
+use std::fmt::Write as _;
+
+/// Errors from [`parse_spec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spec error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a term: `x3`, `y1`, or a declared constant name.
+fn parse_term(tok: &str, k: u16, schema: &Schema, line: usize) -> Result<Term, SpecError> {
+    let reg = |s: &str| -> Option<u16> { s.parse::<u16>().ok().filter(|&i| i >= 1) };
+    if let Some(rest) = tok.strip_prefix('x') {
+        if let Some(i) = reg(rest) {
+            if i > k {
+                return Err(err(line, format!("register x{i} out of range (k = {k})")));
+            }
+            return Ok(Term::x(i - 1));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('y') {
+        if let Some(i) = reg(rest) {
+            if i > k {
+                return Err(err(line, format!("register y{i} out of range (k = {k})")));
+            }
+            return Ok(Term::y(i - 1));
+        }
+    }
+    match schema.constant(tok) {
+        Ok(c) => Ok(Term::Const(c)),
+        Err(_) => Err(err(line, format!("unknown term `{tok}`"))),
+    }
+}
+
+/// Parses one literal: `s = t`, `s != t`, `R(a, b)`, `!R(a, b)`.
+fn parse_literal(
+    text: &str,
+    k: u16,
+    schema: &Schema,
+    line: usize,
+) -> Result<Literal, SpecError> {
+    let text = text.trim();
+    if let Some((lhs, rhs)) = text.split_once("!=") {
+        let s = parse_term(lhs.trim(), k, schema, line)?;
+        let t = parse_term(rhs.trim(), k, schema, line)?;
+        return Ok(Literal::neq(s, t));
+    }
+    if let Some((lhs, rhs)) = text.split_once('=') {
+        let s = parse_term(lhs.trim(), k, schema, line)?;
+        let t = parse_term(rhs.trim(), k, schema, line)?;
+        return Ok(Literal::eq(s, t));
+    }
+    // Relational atom, possibly negated.
+    let (positive, body) = match text.strip_prefix('!') {
+        Some(rest) => (false, rest.trim()),
+        None => (true, text),
+    };
+    let open = body
+        .find('(')
+        .ok_or_else(|| err(line, format!("cannot parse literal `{text}`")))?;
+    if !body.ends_with(')') {
+        return Err(err(line, format!("missing `)` in `{text}`")));
+    }
+    let name = body[..open].trim();
+    let rel = schema
+        .relation(name)
+        .map_err(|_| err(line, format!("unknown relation `{name}`")))?;
+    let args_text = &body[open + 1..body.len() - 1];
+    let args: Result<Vec<Term>, SpecError> = args_text
+        .split(',')
+        .filter(|a| !a.trim().is_empty())
+        .map(|a| parse_term(a.trim(), k, schema, line))
+        .collect();
+    let args = args?;
+    if args.len() != schema.arity(rel) {
+        return Err(err(
+            line,
+            format!(
+                "relation `{name}` has arity {}, got {} arguments",
+                schema.arity(rel),
+                args.len()
+            ),
+        ));
+    }
+    Ok(if positive {
+        Literal::rel(rel, args)
+    } else {
+        Literal::not_rel(rel, args)
+    })
+}
+
+/// Parses a textual specification into an extended register automaton.
+pub fn parse_spec(input: &str) -> Result<ExtendedAutomaton, SpecError> {
+    let mut k: Option<u16> = None;
+    let mut schema = Schema::empty();
+    let mut ra: Option<RegisterAutomaton> = None;
+    // Deferred constraint lines: (line_no, kind, i, j, regex text).
+    let mut constraints: Vec<(usize, ConstraintKind, u16, u16, String)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().expect("non-empty line");
+        match head {
+            "registers" => {
+                let n: u16 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(line_no, "expected `registers <k>`"))?;
+                if k.is_some() {
+                    return Err(err(line_no, "duplicate `registers` line"));
+                }
+                k = Some(n);
+            }
+            "schema" => {
+                if ra.is_some() {
+                    return Err(err(line_no, "`schema` must precede states"));
+                }
+                let inner = line
+                    .trim_start_matches("schema")
+                    .trim()
+                    .strip_prefix('{')
+                    .and_then(|s| s.strip_suffix('}'))
+                    .ok_or_else(|| err(line_no, "expected `schema { … }`"))?;
+                for entry in inner.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+                    if let Some(name) = entry.strip_prefix("const ") {
+                        let name = name.trim();
+                        // Register-shaped names would shadow x1/y1 term
+                        // parsing and silently change meaning.
+                        let register_shaped = |n: &str| {
+                            n.strip_prefix('x')
+                                .or_else(|| n.strip_prefix('y'))
+                                .is_some_and(|rest| rest.parse::<u16>().is_ok())
+                        };
+                        if register_shaped(name) {
+                            return Err(err(
+                                line_no,
+                                format!("constant `{name}` would shadow a register term"),
+                            ));
+                        }
+                        schema
+                            .add_constant(name)
+                            .map_err(|e| err(line_no, e.to_string()))?;
+                    } else if let Some((name, arity)) = entry.split_once('/') {
+                        let arity: usize = arity
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad arity in `{entry}`")))?;
+                        schema
+                            .add_relation(name.trim(), arity)
+                            .map_err(|e| err(line_no, e.to_string()))?;
+                    } else {
+                        return Err(err(line_no, format!("bad schema entry `{entry}`")));
+                    }
+                }
+            }
+            "state" => {
+                let k = k.ok_or_else(|| err(line_no, "`registers` must come first"))?;
+                let automaton = ra.get_or_insert_with(|| RegisterAutomaton::new(k, schema.clone()));
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "expected `state <name> [init] [accept]`"))?;
+                if automaton.state_by_name(name).is_some() {
+                    return Err(err(line_no, format!("duplicate state `{name}`")));
+                }
+                let id = automaton.add_state(name);
+                for flag in words {
+                    match flag {
+                        "init" => automaton.set_initial(id),
+                        "accept" => automaton.set_accepting(id),
+                        other => {
+                            return Err(err(line_no, format!("unknown state flag `{other}`")))
+                        }
+                    }
+                }
+            }
+            "trans" => {
+                let k = k.ok_or_else(|| err(line_no, "`registers` must come first"))?;
+                let automaton = ra
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "declare states before transitions"))?;
+                let rest = line.trim_start_matches("trans").trim();
+                let (head_part, body) = match rest.split_once(':') {
+                    Some((h, b)) => (h.trim(), b.trim()),
+                    None => (rest, ""),
+                };
+                let (from_name, to_name) = head_part
+                    .split_once("->")
+                    .ok_or_else(|| err(line_no, "expected `trans a -> b : …`"))?;
+                let from = automaton
+                    .state_by_name(from_name.trim())
+                    .ok_or_else(|| err(line_no, format!("unknown state `{}`", from_name.trim())))?;
+                let to = automaton
+                    .state_by_name(to_name.trim())
+                    .ok_or_else(|| err(line_no, format!("unknown state `{}`", to_name.trim())))?;
+                let mut literals = Vec::new();
+                for lit_text in split_literals(body) {
+                    literals.push(parse_literal(&lit_text, k, &schema, line_no)?);
+                }
+                let ty = SigmaType::new(k, literals);
+                automaton
+                    .add_transition(from, ty, to)
+                    .map_err(|e| err(line_no, e.to_string()))?;
+            }
+            "constraint" => {
+                let kind = match words.next() {
+                    Some("eq") => ConstraintKind::Equal,
+                    Some("neq") => ConstraintKind::NotEqual,
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("expected `eq` or `neq`, got {other:?}"),
+                        ))
+                    }
+                };
+                let parse_reg = |w: Option<&str>| -> Result<u16, SpecError> {
+                    w.and_then(|w| w.parse::<u16>().ok())
+                        .filter(|&i| i >= 1)
+                        .map(|i| i - 1)
+                        .ok_or_else(|| err(line_no, "expected register indices `i j`"))
+                };
+                let i = parse_reg(words.next())?;
+                let j = parse_reg(words.next())?;
+                let regex_text = line
+                    .split_once(':')
+                    .map(|(_, r)| r.trim().to_string())
+                    .ok_or_else(|| err(line_no, "expected `constraint kind i j : regex`"))?;
+                constraints.push((line_no, kind, i, j, regex_text));
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let ra = ra.ok_or_else(|| err(input.lines().count().max(1), "no states declared"))?;
+    let mut ext = ExtendedAutomaton::new(ra);
+    for (line_no, kind, i, j, regex_text) in constraints {
+        ext.add_constraint_str(kind, RegIdx(i), RegIdx(j), &regex_text)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    Ok(ext)
+}
+
+/// Splits a transition body at top-level commas (commas inside relation
+/// argument lists do not split).
+fn split_literals(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in body.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Renders an extended automaton back into the specification format.
+/// Constraints given directly as DFAs (e.g. by the projection
+/// constructions) have no regular-expression form and are rendered as a
+/// comment.
+pub fn to_spec(ext: &ExtendedAutomaton) -> Result<String, CoreError> {
+    let ra = ext.ra();
+    let schema = ra.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "registers {}", ra.k());
+    if !schema.is_empty() {
+        let mut entries: Vec<String> = schema
+            .relations()
+            .map(|r| format!("{}/{}", schema.relation_name(r), schema.arity(r)))
+            .collect();
+        entries.extend(schema.constants().map(|c| format!("const {}", schema.constant_name(c))));
+        let _ = writeln!(out, "schema {{ {} }}", entries.join(", "));
+    }
+    let _ = writeln!(out);
+    for s in ra.states() {
+        let mut line = format!("state {}", ra.state_name(s));
+        if ra.is_initial(s) {
+            line.push_str(" init");
+        }
+        if ra.is_accepting(s) {
+            line.push_str(" accept");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out);
+    let term = |t: &Term| -> String {
+        match t {
+            Term::X(i) => format!("x{}", i.0 + 1),
+            Term::Y(i) => format!("y{}", i.0 + 1),
+            Term::Const(c) => schema.constant_name(*c).to_string(),
+        }
+    };
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        let lits: Vec<String> = tr
+            .ty
+            .literals()
+            .map(|l| match l {
+                Literal::Eq(s, t) => format!("{} = {}", term(s), term(t)),
+                Literal::Neq(s, t) => format!("{} != {}", term(s), term(t)),
+                Literal::Rel {
+                    rel,
+                    args,
+                    positive,
+                } => {
+                    let args: Vec<String> = args.iter().map(&term).collect();
+                    format!(
+                        "{}{}({})",
+                        if *positive { "" } else { "!" },
+                        schema.relation_name(*rel),
+                        args.join(", ")
+                    )
+                }
+            })
+            .collect();
+        let body = if lits.is_empty() {
+            String::new()
+        } else {
+            format!(" : {}", lits.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "trans {} -> {}{}",
+            ra.state_name(tr.from),
+            ra.state_name(tr.to),
+            body
+        );
+    }
+    if !ext.constraints().is_empty() {
+        let _ = writeln!(out);
+    }
+    for c in ext.constraints() {
+        let kind = match c.kind {
+            ConstraintKind::Equal => "eq",
+            ConstraintKind::NotEqual => "neq",
+        };
+        match &c.regex {
+            Some(r) => {
+                let rendered = r.render(&|s: &crate::StateId| ra.state_name(*s).to_string());
+                let _ = writeln!(
+                    out,
+                    "constraint {kind} {} {} : {}",
+                    c.i.0 + 1,
+                    c.j.0 + 1,
+                    rendered
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "# constraint {kind} {} {} given as a {}-state DFA (no regex form)",
+                    c.i.0 + 1,
+                    c.j.0 + 1,
+                    c.dfa().num_states()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    const EXAMPLE1_SPEC: &str = r"
+        registers 2
+        state q1 init accept
+        state q2
+        trans q1 -> q2 : x1 = x2, x2 = y2
+        trans q2 -> q2 : x2 = y2
+        trans q2 -> q1 : x2 = y2, y1 = y2
+    ";
+
+    #[test]
+    fn parses_example1() {
+        let ext = parse_spec(EXAMPLE1_SPEC).unwrap();
+        let (reference, _) = paper::example1();
+        assert_eq!(ext.ra().num_states(), reference.num_states());
+        assert_eq!(ext.ra().num_transitions(), reference.num_transitions());
+        for t in reference.transition_ids() {
+            assert_eq!(ext.ra().transition(t).ty, reference.transition(t).ty);
+        }
+    }
+
+    #[test]
+    fn parses_constraints_and_schema() {
+        let spec = r"
+            registers 1
+            schema { U/1, E/2, const root }
+            state p init accept
+            state q
+            trans p -> q : U(x1), !E(x1, y1), x1 != root
+            trans q -> p
+            constraint eq 1 1 : p q* p
+            constraint neq 1 1 : q q q*
+        ";
+        let ext = parse_spec(spec).unwrap();
+        assert_eq!(ext.constraints().len(), 2);
+        assert_eq!(ext.ra().schema().num_relations(), 2);
+        assert_eq!(ext.ra().schema().num_constants(), 1);
+        let t0 = &ext.ra().transition(crate::TransId(0)).ty;
+        assert_eq!(t0.len(), 3);
+    }
+
+    #[test]
+    fn round_trips_through_to_spec() {
+        let ext = parse_spec(EXAMPLE1_SPEC).unwrap();
+        let rendered = to_spec(&ext).unwrap();
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(reparsed.ra().num_states(), ext.ra().num_states());
+        assert_eq!(reparsed.ra().num_transitions(), ext.ra().num_transitions());
+        for t in ext.ra().transition_ids() {
+            assert_eq!(
+                reparsed.ra().transition(t).ty,
+                ext.ra().transition(t).ty
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_example5_constraint() {
+        let ext = paper::example5();
+        let rendered = to_spec(&ext).unwrap();
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(reparsed.constraints().len(), 1);
+        // The constraint DFA must accept the same factors.
+        let p1 = reparsed.ra().state_by_name("p1").unwrap();
+        let p2 = reparsed.ra().state_by_name("p2").unwrap();
+        let dfa = reparsed.constraints()[0].dfa();
+        assert!(dfa.accepts(&[p1, p2, p2, p1]));
+        assert!(!dfa.accepts(&[p2, p1]));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(parse_spec("state p").unwrap_err().message.contains("registers"));
+        let e = parse_spec("registers 1\nstate p init\ntrans p -> missing").unwrap_err();
+        assert!(e.message.contains("unknown state"));
+        assert_eq!(e.line, 3);
+        let e = parse_spec("registers 1\nstate p init\ntrans p -> p : x9 = y1").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_spec("registers 1\nstate p\nstate p").unwrap_err();
+        assert!(e.message.contains("duplicate state"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = "# header\nregisters 1\n\nstate p init accept # the only state\ntrans p -> p\n";
+        let ext = parse_spec(spec).unwrap();
+        assert_eq!(ext.ra().num_states(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_type_rejected_with_line() {
+        let e = parse_spec("registers 1\nstate p init\ntrans p -> p : x1 = y1, x1 != y1")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn register_shaped_constant_rejected() {
+        let e = parse_spec("registers 1\nschema { const x1 }\nstate p init\ntrans p -> p")
+            .unwrap_err();
+        assert!(e.message.contains("shadow"));
+        assert_eq!(e.line, 2);
+        // Non-register-shaped names are fine, including an `x` alone.
+        assert!(parse_spec(
+            "registers 1\nschema { const x }\nstate p init accept\ntrans p -> p : x1 = x"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn nullary_relation() {
+        let spec = "registers 1\nschema { Flag/0 }\nstate p init accept\ntrans p -> p : Flag()";
+        let ext = parse_spec(spec).unwrap();
+        assert_eq!(ext.ra().num_transitions(), 1);
+    }
+}

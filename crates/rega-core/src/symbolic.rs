@@ -1,0 +1,179 @@
+//! Symbolic control traces and `SControl(A)` (Section 2).
+//!
+//! An ω-word `((q_n, δ_n))` is a *symbolic control trace* of `A` if
+//! (i) `q_0 ∈ I` and some state of `F` occurs infinitely often,
+//! (ii) every `(q_n, δ_n, q_{n+1})` is a transition of `A`, and
+//! (iii) consecutive types agree on the shared registers:
+//! `δ_n|ȳ ≅ δ_{n+1}|x̄` under `y_i ↦ x_i`.
+//!
+//! `SControl(A)` is ω-regular; this module builds its Büchi automaton over
+//! the alphabet of transition ids. The paper's Theorem 9 (stage 1) re-proves
+//! the result of Koutsos–Vianu that `Control(A) = SControl(A)` for register
+//! automata; the executable counterpart (turning a symbolic lasso into a
+//! concrete database and run) lives in `rega-analysis`.
+
+use crate::automaton::{RegisterAutomaton, TransId};
+use crate::error::CoreError;
+use rega_automata::{Lasso, Nba};
+use rega_data::SigmaType;
+
+/// Builds the Büchi automaton recognizing `SControl(A)` over the alphabet of
+/// transition ids.
+///
+/// NBA states: a fresh start state, plus one state per transition meaning
+/// "this transition just fired". A letter `t` can follow `u` iff
+/// `to(u) = from(t)` and the types of `u` and `t` agree on the shared
+/// registers. A state `t` is Büchi-accepting iff `from(t) ∈ F`: state
+/// `from(t_n)` occurs at position `n`, so `F` is visited infinitely often
+/// exactly when accepting letters fire infinitely often.
+pub fn scontrol_nba(ra: &RegisterAutomaton) -> Result<Nba<TransId>, CoreError> {
+    let alphabet: Vec<TransId> = ra.transition_ids().collect();
+    let n = alphabet.len();
+    // Compatibility of consecutive transitions: `t` can follow `u` iff
+    // `to(u) = from(t)` and the types are *jointly satisfiable* on the
+    // shared registers: `exists d_n d_{n+1} d_{n+2}` with `delta_u(d_n, d_{n+1})`
+    // and `delta_t(d_{n+1}, d_{n+2})`. For complete types this coincides with
+    // the paper's condition (iii) (`delta_u|y = delta_t|x` -- maximal restrictions
+    // are jointly satisfiable iff equal); for incomplete types syntactic
+    // equality would wrongly reject, e.g., `P(x1)` followed by `P(x1)`.
+    // Computed once per distinct *pair of types*, via an encoding over 2k
+    // registers: `x(0..k) = d_n`, `x(k..2k) = d_{n+1}`, `y(0..k) = d_{n+2}`.
+    let mut type_ids: std::collections::HashMap<SigmaType, u32> = Default::default();
+    let mut type_of = vec![0u32; n];
+    for &t in &alphabet {
+        let ty = &ra.transition(t).ty;
+        let next = type_ids.len() as u32;
+        type_of[t.idx()] = *type_ids.entry(ty.clone()).or_insert(next);
+    }
+    let mut joint_sat: std::collections::HashMap<(u32, u32), bool> = Default::default();
+    let mut compatible = |u: TransId, t: TransId| -> bool {
+        let key = (type_of[u.idx()], type_of[t.idx()]);
+        *joint_sat.entry(key).or_insert_with(|| {
+            ra.transition(u)
+                .ty
+                .jointly_satisfiable_with(&ra.transition(t).ty, ra.schema())
+        })
+    };
+    // State 0 = start; state 1 + t.idx() = "transition t just fired".
+    let mut nba = Nba::new(alphabet.clone(), n + 1);
+    nba.set_init(0);
+    for &t in &alphabet {
+        if ra.is_initial(ra.transition(t).from) {
+            nba.add_transition(0, &t, 1 + t.idx());
+        }
+        nba.set_accepting(1 + t.idx(), ra.is_accepting(ra.transition(t).from));
+    }
+    for &u in &alphabet {
+        for &t in &alphabet {
+            if ra.transition(u).to == ra.transition(t).from && compatible(u, t) {
+                nba.add_transition(1 + u.idx(), &t, 1 + t.idx());
+            }
+        }
+    }
+    Ok(nba)
+}
+
+/// Whether a lasso of transition ids is a symbolic control trace of `A`.
+pub fn is_symbolic_control_trace(
+    ra: &RegisterAutomaton,
+    w: &Lasso<TransId>,
+) -> Result<bool, CoreError> {
+    Ok(scontrol_nba(ra)?.accepts_lasso(w))
+}
+
+/// Finds some symbolic control trace of `A` (a lasso), or `None` if there is
+/// none. This is the (database-free) skeleton of the emptiness check; the
+/// full emptiness procedure for *extended* automata additionally enforces
+/// the global constraints (see `rega-analysis::emptiness`).
+pub fn find_symbolic_control_trace(
+    ra: &RegisterAutomaton,
+) -> Result<Option<Lasso<TransId>>, CoreError> {
+    Ok(rega_automata::emptiness::find_accepting_lasso(
+        &scontrol_nba(ra)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use rega_data::{Literal, Schema, SigmaType, Term};
+
+    #[test]
+    fn example1_control_trace_is_symbolic() {
+        let (ra, _) = paper::example1();
+        // Control(A) = ((q1,δ1)(q2,δ2)*(q2,δ3))^ω — check one instance.
+        let w = Lasso::periodic(vec![TransId(0), TransId(1), TransId(1), TransId(2)]);
+        assert!(is_symbolic_control_trace(&ra, &w).unwrap());
+    }
+
+    #[test]
+    fn example1_wrong_wiring_rejected() {
+        let (ra, _) = paper::example1();
+        // δ3 must be followed by δ1 (back at q1): repeating δ3 is not wired.
+        let w = Lasso::periodic(vec![TransId(2)]);
+        assert!(!is_symbolic_control_trace(&ra, &w).unwrap());
+    }
+
+    #[test]
+    fn type_agreement_enforced() {
+        // p --(y1=y1... empty)--> p with two types disagreeing on x1=y1 vs
+        // the next type's pre-side.
+        let mut ra = RegisterAutomaton::new(1, Schema::empty());
+        let p = ra.add_state("p");
+        let q = ra.add_state("q");
+        ra.set_initial(p);
+        ra.set_accepting(p);
+        // δa: y-side says nothing; post restricted to y is empty: x side of
+        // δb says x1 ≠ x1? cannot — use relation-free disagreement:
+        // δa: y1 = x1 (post side: nothing about y alone) — need types whose
+        // post/pre restrictions differ. Use k=2:
+        let _ = (p, q);
+        let mut ra = RegisterAutomaton::new(2, Schema::empty());
+        let p = ra.add_state("p");
+        let q = ra.add_state("q");
+        ra.set_initial(p);
+        ra.set_accepting(p);
+        // δa forces y1 = y2; δb's pre side forces x1 ≠ x2: incompatible.
+        let da = SigmaType::new(2, [Literal::eq(Term::y(0), Term::y(1))]);
+        let db = SigmaType::new(2, [Literal::neq(Term::x(0), Term::x(1))]);
+        let ta = ra.add_transition(p, da, q).unwrap();
+        let tb = ra.add_transition(q, db, p).unwrap();
+        let w = Lasso::periodic(vec![ta, tb]);
+        assert!(!is_symbolic_control_trace(&ra, &w).unwrap());
+    }
+
+    #[test]
+    fn buchi_condition_on_traces() {
+        // q1 initial+accepting, q2 not accepting; loop at q2 forever after
+        // leaving q1 is not accepting.
+        let mut ra = RegisterAutomaton::new(0, Schema::empty());
+        let q1 = ra.add_state("q1");
+        let q2 = ra.add_state("q2");
+        ra.set_initial(q1);
+        ra.set_accepting(q1);
+        let t1 = ra.add_transition(q1, SigmaType::empty(0), q2).unwrap();
+        let t2 = ra.add_transition(q2, SigmaType::empty(0), q2).unwrap();
+        let w = Lasso::new(vec![t1], vec![t2]);
+        assert!(!is_symbolic_control_trace(&ra, &w).unwrap());
+    }
+
+    #[test]
+    fn find_trace_in_nonempty_automaton() {
+        let (ra, _) = paper::example1();
+        let w = find_symbolic_control_trace(&ra).unwrap().unwrap();
+        assert!(is_symbolic_control_trace(&ra, &w).unwrap());
+    }
+
+    #[test]
+    fn find_trace_empty_automaton() {
+        // No accepting state reachable on a cycle.
+        let mut ra = RegisterAutomaton::new(0, Schema::empty());
+        let p = ra.add_state("p");
+        let q = ra.add_state("q");
+        ra.set_initial(p);
+        ra.set_accepting(q); // q has no outgoing transitions
+        ra.add_transition(p, SigmaType::empty(0), q).unwrap();
+        assert!(find_symbolic_control_trace(&ra).unwrap().is_none());
+    }
+}

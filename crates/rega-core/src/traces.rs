@@ -1,0 +1,128 @@
+//! Trace vocabulary: register, control, and state traces (Section 2).
+//!
+//! For a run `ρ = ((d̄_n, q_n, δ_n))`:
+//! * the *register trace* is `(d̄_n)` — sequences of value tuples;
+//! * the *control trace* is `((q_n, δ_n))` — here represented by the
+//!   transition fired at each position ([`TransId`]), which determines both
+//!   the state and the type;
+//! * the *state trace* is `(q_n)`.
+
+use crate::automaton::{RegisterAutomaton, StateId, TransId};
+use rega_automata::Lasso;
+use rega_data::Value;
+
+/// Converts a control trace (transitions) to the corresponding state trace.
+pub fn control_to_state(ra: &RegisterAutomaton, control: &Lasso<TransId>) -> Lasso<StateId> {
+    control.map(|&t| ra.transition(t).from)
+}
+
+/// For a *state-driven* automaton, the state trace determines the control
+/// trace: each state has a unique outgoing type, so the transition fired at
+/// position `n` is determined by `(q_n, q_{n+1})`. Returns `None` if some
+/// consecutive pair has no transition.
+pub fn state_to_control(
+    ra: &RegisterAutomaton,
+    states: &Lasso<StateId>,
+) -> Option<Lasso<TransId>> {
+    let n = states.prefix_len() + states.period();
+    let find = |m: usize| -> Option<TransId> {
+        let cur = *states.at(m);
+        let next = *states.at(m + 1);
+        ra.outgoing(cur)
+            .iter()
+            .copied()
+            .find(|&t| ra.transition(t).to == next)
+    };
+    let mut prefix = Vec::with_capacity(states.prefix_len());
+    for m in 0..states.prefix_len() {
+        prefix.push(find(m)?);
+    }
+    let mut cycle = Vec::with_capacity(states.period());
+    for m in states.prefix_len()..n {
+        cycle.push(find(m)?);
+    }
+    Some(Lasso::new(prefix, cycle))
+}
+
+/// Compares two finite register traces (sequences of value tuples).
+pub fn traces_equal(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a == b
+}
+
+/// Whether two finite register traces are equal *up to a value renaming*
+/// (an injection): register automata cannot distinguish isomorphic traces.
+pub fn traces_isomorphic(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd = std::collections::HashMap::new();
+    let mut bwd = std::collections::HashMap::new();
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        if ra.len() != rb.len() {
+            return false;
+        }
+        for (&va, &vb) in ra.iter().zip(rb.iter()) {
+            if *fwd.entry(va).or_insert(vb) != vb {
+                return false;
+            }
+            if *bwd.entry(vb).or_insert(va) != va {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_data::{Schema, SigmaType};
+
+    fn ab_automaton() -> RegisterAutomaton {
+        let mut a = RegisterAutomaton::new(0, Schema::empty());
+        let p = a.add_state("p");
+        let q = a.add_state("q");
+        a.set_initial(p);
+        a.set_accepting(p);
+        a.add_transition(p, SigmaType::empty(0), q).unwrap();
+        a.add_transition(q, SigmaType::empty(0), p).unwrap();
+        a
+    }
+
+    #[test]
+    fn control_state_round_trip() {
+        let ra = ab_automaton();
+        let control = Lasso::periodic(vec![TransId(0), TransId(1)]);
+        let states = control_to_state(&ra, &control);
+        assert_eq!(states.cycle, vec![StateId(0), StateId(1)]);
+        let back = state_to_control(&ra, &states).unwrap();
+        assert_eq!(back.cycle, control.cycle);
+    }
+
+    #[test]
+    fn state_to_control_fails_on_missing_edge() {
+        let ra = ab_automaton();
+        // p p p ... but there is no p -> p transition
+        let states = Lasso::periodic(vec![StateId(0)]);
+        assert!(state_to_control(&ra, &states).is_none());
+    }
+
+    #[test]
+    fn isomorphic_traces() {
+        let a = vec![vec![Value(1)], vec![Value(2)], vec![Value(1)]];
+        let b = vec![vec![Value(7)], vec![Value(9)], vec![Value(7)]];
+        let c = vec![vec![Value(7)], vec![Value(9)], vec![Value(9)]];
+        assert!(traces_isomorphic(&a, &b));
+        assert!(!traces_isomorphic(&a, &c));
+        assert!(traces_equal(&a, &a));
+        assert!(!traces_equal(&a, &b));
+    }
+
+    #[test]
+    fn isomorphic_requires_injection() {
+        // two different values mapping to the same target is not allowed
+        let a = vec![vec![Value(1), Value(2)]];
+        let b = vec![vec![Value(5), Value(5)]];
+        assert!(!traces_isomorphic(&a, &b));
+    }
+}

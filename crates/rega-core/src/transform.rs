@@ -1,0 +1,382 @@
+//! Normal forms of register automata (Section 2):
+//!
+//! * **Completion** — every transition type is replaced by its complete
+//!   extensions (Example 2). Exponential in the worst case.
+//! * **State-driven form** — each state determines its unique outgoing type
+//!   (Example 3). Quadratic: states become `(q, δ)` pairs.
+//!
+//! Both preserve the register traces; the experiment suite E2 measures the
+//! blow-ups.
+
+use crate::automaton::{RegisterAutomaton, StateId};
+use crate::error::CoreError;
+use crate::extended::{ExtendedAutomaton, GlobalConstraint};
+use rega_automata::Regex;
+use rega_data::SigmaType;
+
+/// Replaces every transition type by all of its complete extensions.
+/// Register traces are preserved (each original step is refined into the
+/// nondeterministic choice of a completion).
+pub fn complete(ra: &RegisterAutomaton) -> Result<RegisterAutomaton, CoreError> {
+    let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
+    for s in ra.states() {
+        let s2 = out.add_state(ra.state_name(s));
+        debug_assert_eq!(s, s2);
+        if ra.is_initial(s) {
+            out.set_initial(s);
+        }
+        if ra.is_accepting(s) {
+            out.set_accepting(s);
+        }
+    }
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        for completion in tr.ty.completions(ra.schema())? {
+            out.add_transition(tr.from, completion, tr.to)?;
+        }
+    }
+    Ok(out)
+}
+
+/// The result of the state-driven construction: the new automaton plus the
+/// surjection `α : Q′ → Q` onto the original states.
+#[derive(Clone, Debug)]
+pub struct StateDriven {
+    /// The state-driven automaton.
+    pub automaton: RegisterAutomaton,
+    /// `state_map[s′] = α(s′)` — the original state of each new state.
+    pub state_map: Vec<StateId>,
+}
+
+/// Converts to state-driven form: new states are the pairs `(q, δ)` where
+/// `δ` is an outgoing type of `q`; the pair's unique outgoing type is `δ`.
+///
+/// States of the original automaton without outgoing transitions disappear
+/// (they cannot occur in an infinite run).
+pub fn state_driven(ra: &RegisterAutomaton) -> StateDriven {
+    // Distinct outgoing types per state.
+    let mut types_of: Vec<Vec<SigmaType>> = vec![Vec::new(); ra.num_states()];
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        if !types_of[tr.from.idx()].contains(&tr.ty) {
+            types_of[tr.from.idx()].push(tr.ty.clone());
+        }
+    }
+    let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
+    let mut state_map = Vec::new();
+    // pair_id[q][type_index] = new state
+    let mut pair_id: Vec<Vec<StateId>> = vec![Vec::new(); ra.num_states()];
+    for q in ra.states() {
+        for (xi, _) in types_of[q.idx()].iter().enumerate() {
+            let name = format!("{}_{}", ra.state_name(q), xi);
+            let id = out.add_state(&name);
+            pair_id[q.idx()].push(id);
+            state_map.push(q);
+            if ra.is_initial(q) {
+                out.set_initial(id);
+            }
+            if ra.is_accepting(q) {
+                out.set_accepting(id);
+            }
+        }
+    }
+    // Transitions: ((p,δ), δ, (q,δ′)) for (p,δ,q) ∈ Δ and δ′ outgoing at q.
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        let xi = types_of[tr.from.idx()]
+            .iter()
+            .position(|ty| *ty == tr.ty)
+            .expect("type recorded");
+        let from2 = pair_id[tr.from.idx()][xi];
+        for (to_xi, _) in types_of[tr.to.idx()].iter().enumerate() {
+            let to2 = pair_id[tr.to.idx()][to_xi];
+            out.add_transition(from2, tr.ty.clone(), to2)
+                .expect("type already validated");
+        }
+    }
+    StateDriven {
+        automaton: out,
+        state_map,
+    }
+}
+
+/// State-driven form of an *extended* automaton: the underlying automaton is
+/// converted and every global constraint's regular expression is lifted
+/// through the surjection `α` (each original state letter becomes the
+/// alternation of its preimages).
+pub fn state_driven_extended(ext: &ExtendedAutomaton) -> ExtendedAutomaton {
+    let sd = state_driven(ext.ra());
+    let mut preimages: Vec<Vec<StateId>> = vec![Vec::new(); ext.ra().num_states()];
+    for (new_idx, &orig) in sd.state_map.iter().enumerate() {
+        preimages[orig.idx()].push(StateId(new_idx as u32));
+    }
+    let _ = preimages;
+    let state_map = sd.state_map.clone();
+    let mut out = ExtendedAutomaton::new(sd.automaton);
+    for c in ext.constraints() {
+        out.add_lifted_constraint(c, |s| state_map[s.idx()])
+            .expect("constraint valid on lifted automaton");
+    }
+    out
+}
+
+/// Completion of an extended automaton: constraints carry over unchanged
+/// (the state set does not change).
+pub fn complete_extended(ext: &ExtendedAutomaton) -> Result<ExtendedAutomaton, CoreError> {
+    let completed = complete(ext.ra())?;
+    let mut out = ExtendedAutomaton::new(completed);
+    for c in ext.constraints() {
+        out.add_lifted_constraint(c, |s| s)?;
+    }
+    Ok(out)
+}
+
+/// *Partial* completion: every transition type is refined just enough to
+/// decide each of the given atoms (each atom is conjoined either positively
+/// or negatively, keeping only satisfiable combinations). Exponential only
+/// in the number of atoms actually needed — the verifier uses this instead
+/// of full completion, which blows up in the number of registers.
+pub fn complete_for_atoms(
+    ra: &RegisterAutomaton,
+    atoms: &[rega_data::Literal],
+) -> Result<RegisterAutomaton, CoreError> {
+    let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
+    for s in ra.states() {
+        let s2 = out.add_state(ra.state_name(s));
+        debug_assert_eq!(s, s2);
+        if ra.is_initial(s) {
+            out.set_initial(s);
+        }
+        if ra.is_accepting(s) {
+            out.set_accepting(s);
+        }
+    }
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        let mut variants = vec![tr.ty.clone()];
+        for atom in atoms {
+            let mut next = Vec::new();
+            for v in variants {
+                let pos = v.with(atom.clone());
+                if pos.is_satisfiable(ra.schema()) {
+                    next.push(pos);
+                }
+                let neg = v.with(atom.negated());
+                if neg.is_satisfiable(ra.schema()) {
+                    next.push(neg);
+                }
+            }
+            variants = next;
+        }
+        variants.sort();
+        variants.dedup();
+        for v in variants {
+            out.add_transition(tr.from, v, tr.to)?;
+        }
+    }
+    Ok(out)
+}
+
+/// [`complete_for_atoms`] for extended automata (constraints carry over).
+pub fn complete_extended_for_atoms(
+    ext: &ExtendedAutomaton,
+    atoms: &[rega_data::Literal],
+) -> Result<ExtendedAutomaton, CoreError> {
+    let completed = complete_for_atoms(ext.ra(), atoms)?;
+    let mut out = ExtendedAutomaton::new(completed);
+    for c in ext.constraints() {
+        out.add_lifted_constraint(c, |s| s)?;
+    }
+    Ok(out)
+}
+
+/// Lifts a regex over original states to one over refined states via the
+/// preimage sets.
+pub fn lift_regex(regex: &Regex<StateId>, preimages: &[Vec<StateId>]) -> Regex<StateId> {
+    match regex {
+        Regex::Empty => Regex::Empty,
+        Regex::Epsilon => Regex::Epsilon,
+        Regex::Sym(s) => Regex::any_of(preimages[s.idx()].iter().copied()),
+        Regex::Concat(parts) => {
+            Regex::Concat(parts.iter().map(|p| lift_regex(p, preimages)).collect())
+        }
+        Regex::Alt(parts) => Regex::Alt(parts.iter().map(|p| lift_regex(p, preimages)).collect()),
+        Regex::Star(inner) => Regex::Star(Box::new(lift_regex(inner, preimages))),
+    }
+}
+
+/// Convenience accessor used by several constructions: the constraints of an
+/// extended automaton (re-exported to avoid leaking monitor internals).
+pub fn constraints(ext: &ExtendedAutomaton) -> &[GlobalConstraint] {
+    ext.constraints()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::run::{Config, LassoRun};
+    use rega_data::{Database, Literal, Schema, Term, Value};
+
+    #[test]
+    fn completion_of_example1() {
+        let (a, _) = paper::example1();
+        let c = complete(&a).unwrap();
+        assert!(c.is_complete().unwrap());
+        // Example 2: each of δ1, δ2, δ3 has exactly 2 completions... δ2 has
+        // more (x2=y2 leaves x1, y1 free). Just check growth and validity.
+        assert!(c.num_transitions() > a.num_transitions());
+        assert_eq!(c.num_states(), a.num_states());
+    }
+
+    #[test]
+    fn completion_of_delta1_has_two_variants() {
+        // δ1 alone: x1=x2 ∧ x2=y2 completes into exactly 2 types (settle y1).
+        let (a, _) = paper::example1();
+        let q1 = a.state_by_name("q1").unwrap();
+        let c = complete(&a).unwrap();
+        assert_eq!(c.outgoing(q1).len(), 2);
+    }
+
+    #[test]
+    fn state_driven_of_example1_matches_example3() {
+        // Example 3: A' has three states q1(δ1), q2(δ2), q2(δ3) and five
+        // transitions.
+        let (a, _) = paper::example1();
+        let sd = state_driven(&a);
+        assert!(sd.automaton.is_state_driven());
+        assert_eq!(sd.automaton.num_states(), 3);
+        assert_eq!(sd.automaton.num_transitions(), 5);
+    }
+
+    #[test]
+    fn state_driven_preserves_a_run() {
+        let (a, _) = paper::example1();
+        let sd = state_driven(&a);
+        let a2 = &sd.automaton;
+        let db = Database::new(Schema::empty());
+        // Find the run (q1,δ1)(q2,δ2)(q2,δ3) looping, with register values.
+        // State names: q1_0, q2_0 (δ2), q2_1 (δ3).
+        let q1d1 = a2.state_by_name("q1_0").unwrap();
+        // Identify which q2 pair has δ2 (self-loop capable) vs δ3.
+        let q2a = a2.state_by_name("q2_0").unwrap();
+        let q2b = a2.state_by_name("q2_1").unwrap();
+        let ty_a = a2.state_type(q2a).unwrap().clone();
+        let (q2_d2, q2_d3) = if ty_a.contains(&Literal::eq(Term::y(0), Term::y(1))) {
+            (q2b, q2a)
+        } else {
+            (q2a, q2b)
+        };
+        let find = |from: StateId, to: StateId| {
+            a2.outgoing(from)
+                .iter()
+                .copied()
+                .find(|&t| a2.transition(t).to == to)
+                .unwrap()
+        };
+        let run = LassoRun::new(
+            vec![
+                Config::new(q1d1, vec![Value(1), Value(1)]),
+                Config::new(q2_d2, vec![Value(2), Value(1)]),
+                Config::new(q2_d3, vec![Value(3), Value(1)]),
+            ],
+            vec![find(q1d1, q2_d2), find(q2_d2, q2_d3), find(q2_d3, q1d1)],
+            0,
+        );
+        assert!(run.validate(a2, &db).is_ok());
+    }
+
+    #[test]
+    fn state_driven_extended_lifts_constraints() {
+        let ext = paper::example5();
+        let sd = state_driven_extended(&ext);
+        assert!(sd.ra().is_state_driven());
+        assert_eq!(sd.constraints().len(), 1);
+        // The lifted constraint DFA still matches p1 p2* p1 factors over
+        // the refined states.
+        let p1 = sd.ra().state_by_name("p1_0").unwrap();
+        let p2a = sd.ra().state_by_name("p2_0").unwrap();
+        let dfa = sd.constraints()[0].dfa();
+        assert!(dfa.accepts(&[p1, p2a, p2a, p1]));
+        assert!(!dfa.accepts(&[p2a, p1]));
+    }
+
+    #[test]
+    fn complete_extended_keeps_constraints() {
+        let ext = paper::example7();
+        let c = complete_extended(&ext).unwrap();
+        assert!(c.ra().is_complete().unwrap());
+        assert_eq!(c.constraints().len(), 1);
+    }
+
+    #[test]
+    fn state_driven_drops_dead_states() {
+        let mut a = RegisterAutomaton::new(0, Schema::empty());
+        let p = a.add_state("p");
+        let dead = a.add_state("dead");
+        a.set_initial(p);
+        a.set_accepting(p);
+        a.add_transition(p, SigmaType::empty(0), p).unwrap();
+        let _ = dead; // no outgoing transitions
+        let sd = state_driven(&a);
+        assert_eq!(sd.automaton.num_states(), 1);
+    }
+}
+
+/// Permutes the registers of an automaton: register `i` of the result is
+/// register `perm[i]` of the input. Used to move the registers a view
+/// should keep into the leading positions before projecting (the projection
+/// constructions keep the first `m` registers).
+pub fn permute_registers(ra: &RegisterAutomaton, perm: &[u16]) -> RegisterAutomaton {
+    assert_eq!(perm.len(), ra.k() as usize, "permutation arity mismatch");
+    let mut inverse = vec![0u16; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        inverse[old as usize] = new as u16;
+    }
+    let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
+    for s in ra.states() {
+        let s2 = out.add_state(ra.state_name(s));
+        debug_assert_eq!(s, s2);
+        if ra.is_initial(s) {
+            out.set_initial(s);
+        }
+        if ra.is_accepting(s) {
+            out.set_accepting(s);
+        }
+    }
+    for t in ra.transition_ids() {
+        let tr = ra.transition(t);
+        let ty = tr
+            .ty
+            .map_terms(|tm| tm.map_register(|r| rega_data::RegIdx(inverse[r.idx()])));
+        out.add_transition(tr.from, ty, tr.to)
+            .expect("permutation preserves validity");
+    }
+    out
+}
+
+#[cfg(test)]
+mod permute_tests {
+    use super::*;
+    use crate::paper;
+    use rega_data::{Literal, Term};
+
+    #[test]
+    fn permutation_swaps_literals() {
+        let (ra, _) = paper::example1();
+        let swapped = permute_registers(&ra, &[1, 0]);
+        // δ1 was x1=x2 ∧ x2=y2; after the swap it is x2=x1 ∧ x1=y1.
+        let t0 = &swapped.transition(crate::TransId(0)).ty;
+        assert!(t0.contains(&Literal::eq(Term::x(0), Term::x(1))));
+        assert!(t0.contains(&Literal::eq(Term::x(0), Term::y(0))));
+    }
+
+    #[test]
+    fn double_permutation_is_identity() {
+        let (ra, _) = paper::example1();
+        let twice = permute_registers(&permute_registers(&ra, &[1, 0]), &[1, 0]);
+        for t in ra.transition_ids() {
+            assert_eq!(ra.transition(t).ty, twice.transition(t).ty);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Finite databases over a schema.
+//!
+//! A database over `σ` maps each relation symbol of arity `k` to a finite
+//! `k`-ary relation over `𝔻`, and each constant symbol to an element of `𝔻`
+//! (Section 2). The active domain `adom(D)` consists of all values occurring
+//! in the relations together with the constants.
+
+use crate::error::DataError;
+use crate::schema::{ConstSym, RelSym, Schema};
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A finite relational structure over a [`Schema`].
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Schema,
+    relations: Vec<HashSet<Vec<Value>>>,
+    constants: Vec<Value>,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`. All constant symbols are
+    /// initially interpreted by pairwise-distinct default values; use
+    /// [`Database::set_constant`] to re-interpret them.
+    pub fn new(schema: Schema) -> Self {
+        let relations = (0..schema.num_relations()).map(|_| HashSet::new()).collect();
+        // Default constant interpretations: distinct large values, so that a
+        // freshly created database is well-formed even before constants are
+        // assigned explicitly.
+        let constants = (0..schema.num_constants())
+            .map(|i| Value((1 << 48) + i as u64))
+            .collect();
+        Database {
+            schema,
+            relations,
+            constants,
+        }
+    }
+
+    /// The schema of this database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Interprets a constant symbol by a value.
+    pub fn set_constant(&mut self, c: ConstSym, v: Value) {
+        self.constants[c.0 as usize] = v;
+    }
+
+    /// The interpretation of a constant symbol.
+    pub fn constant(&self, c: ConstSym) -> Value {
+        self.constants[c.0 as usize]
+    }
+
+    /// Inserts a fact `R(values)` into the database.
+    pub fn insert(&mut self, rel: RelSym, values: Vec<Value>) -> Result<(), DataError> {
+        self.schema.check_arity(rel, values.len())?;
+        self.relations[rel.0 as usize].insert(values);
+        Ok(())
+    }
+
+    /// Inserts a fact looked up by relation name (convenience for examples).
+    pub fn insert_named(&mut self, rel: &str, values: &[Value]) -> Result<(), DataError> {
+        let sym = self.schema.relation(rel)?;
+        self.insert(sym, values.to_vec())
+    }
+
+    /// Removes a fact from the database. Returns whether it was present.
+    pub fn remove(&mut self, rel: RelSym, values: &[Value]) -> bool {
+        self.relations[rel.0 as usize].remove(values)
+    }
+
+    /// Tests whether `R(values)` holds.
+    pub fn contains(&self, rel: RelSym, values: &[Value]) -> bool {
+        self.relations[rel.0 as usize].contains(values)
+    }
+
+    /// All facts of a relation.
+    pub fn facts(&self, rel: RelSym) -> impl Iterator<Item = &Vec<Value>> {
+        self.relations[rel.0 as usize].iter()
+    }
+
+    /// Number of facts of a relation.
+    pub fn num_facts(&self, rel: RelSym) -> usize {
+        self.relations[rel.0 as usize].len()
+    }
+
+    /// Total number of facts over all relations.
+    pub fn total_facts(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// The active domain: all values occurring in relations, plus constants.
+    /// Returned sorted for determinism.
+    pub fn adom(&self) -> BTreeSet<Value> {
+        let mut dom: BTreeSet<Value> = self.constants.iter().copied().collect();
+        for rel in &self.relations {
+            for fact in rel {
+                dom.extend(fact.iter().copied());
+            }
+        }
+        dom
+    }
+
+    /// Applies an injective renaming of values to the database. Values not in
+    /// the map are left unchanged. Used by Lemma 25-style arguments, which
+    /// move a database away from values occurring in a run by an isomorphism.
+    pub fn rename(&self, map: &HashMap<Value, Value>) -> Database {
+        let f = |v: &Value| *map.get(v).unwrap_or(v);
+        let relations = self
+            .relations
+            .iter()
+            .map(|rel| rel.iter().map(|fact| fact.iter().map(&f).collect()).collect())
+            .collect();
+        let constants = self.constants.iter().map(&f).collect();
+        Database {
+            schema: self.schema.clone(),
+            relations,
+            constants,
+        }
+    }
+
+    /// Tests isomorphism-invariant equality is *not* implemented; this is
+    /// plain fact-set equality (same schema assumed).
+    pub fn same_facts(&self, other: &Database) -> bool {
+        self.relations == other.relations && self.constants == other.constants
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database over {}", self.schema)?;
+        for rel in self.schema.relations() {
+            let mut facts: Vec<&Vec<Value>> = self.facts(rel).collect();
+            facts.sort();
+            for fact in facts {
+                write!(f, "  {}(", self.schema.relation_name(rel))?;
+                for (i, v) in fact.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                writeln!(f, ")")?;
+            }
+        }
+        for c in self.schema.constants() {
+            writeln!(
+                f,
+                "  {} = {}",
+                self.schema.constant_name(c),
+                self.constant(c)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::with(&[("E", 2), ("U", 1)], &["c"])
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let s = schema();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s);
+        db.insert(e, vec![Value(1), Value(2)]).unwrap();
+        assert!(db.contains(e, &[Value(1), Value(2)]));
+        assert!(!db.contains(e, &[Value(2), Value(1)]));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let s = schema();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s);
+        assert!(db.insert(e, vec![Value(1)]).is_err());
+    }
+
+    #[test]
+    fn adom_includes_constants_and_facts() {
+        let s = schema();
+        let e = s.relation("E").unwrap();
+        let c = s.constant("c").unwrap();
+        let mut db = Database::new(s);
+        db.set_constant(c, Value(7));
+        db.insert(e, vec![Value(1), Value(2)]).unwrap();
+        let adom = db.adom();
+        assert!(adom.contains(&Value(1)));
+        assert!(adom.contains(&Value(2)));
+        assert!(adom.contains(&Value(7)));
+        assert_eq!(adom.len(), 3);
+    }
+
+    #[test]
+    fn rename_moves_values() {
+        let s = schema();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s);
+        db.insert(e, vec![Value(1), Value(2)]).unwrap();
+        let map: HashMap<Value, Value> = [(Value(1), Value(10))].into_iter().collect();
+        let db2 = db.rename(&map);
+        assert!(db2.contains(e, &[Value(10), Value(2)]));
+        assert!(!db2.contains(e, &[Value(1), Value(2)]));
+    }
+
+    #[test]
+    fn remove_fact() {
+        let s = schema();
+        let u = s.relation("U").unwrap();
+        let mut db = Database::new(s);
+        db.insert(u, vec![Value(3)]).unwrap();
+        assert!(db.remove(u, &[Value(3)]));
+        assert!(!db.remove(u, &[Value(3)]));
+        assert!(!db.contains(u, &[Value(3)]));
+    }
+
+    #[test]
+    fn insert_named_convenience() {
+        let mut db = Database::new(schema());
+        db.insert_named("U", &[Value(9)]).unwrap();
+        let u = db.schema().relation("U").unwrap();
+        assert!(db.contains(u, &[Value(9)]));
+        assert!(db.insert_named("Z", &[Value(1)]).is_err());
+    }
+
+    #[test]
+    fn default_constants_are_distinct() {
+        let s = Schema::with(&[], &["a", "b"]);
+        let db = Database::new(s);
+        let a = db.schema().constant("a").unwrap();
+        let b = db.schema().constant("b").unwrap();
+        assert_ne!(db.constant(a), db.constant(b));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating schemas, databases, types
+/// and formulas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation symbol was used that is not declared in the schema.
+    UnknownRelation(String),
+    /// A constant symbol was used that is not declared in the schema.
+    UnknownConstant(String),
+    /// A relation was used with the wrong number of arguments.
+    ArityMismatch {
+        /// Name of the relation.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A relation or constant was declared twice.
+    DuplicateSymbol(String),
+    /// A term refers to a register index `>= k`.
+    RegisterOutOfRange {
+        /// The offending register index.
+        index: u16,
+        /// The number of registers `k`.
+        k: u16,
+    },
+    /// The formula or type is not satisfiable (used where satisfiability is
+    /// required, e.g. when constructing a transition type).
+    Unsatisfiable,
+    /// A completion or evaluation step needed a fact that the type does not
+    /// determine (the type is not complete enough for the operation).
+    Undetermined(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownRelation(name) => write!(f, "unknown relation symbol `{name}`"),
+            DataError::UnknownConstant(name) => write!(f, "unknown constant symbol `{name}`"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {got} arguments were given"
+            ),
+            DataError::DuplicateSymbol(name) => write!(f, "symbol `{name}` declared twice"),
+            DataError::RegisterOutOfRange { index, k } => {
+                write!(f, "register index {index} out of range (k = {k})")
+            }
+            DataError::Unsatisfiable => write!(f, "type is unsatisfiable"),
+            DataError::Undetermined(what) => {
+                write!(f, "type does not determine {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Data substrate for `rega`: the infinite data domain, relational schemas,
+//! finite databases, and the symbolic σ-types used by register automata.
+//!
+//! This crate implements Section 2 ("Preliminaries") of *Projection Views of
+//! Register Automata* (Segoufin & Vianu, PODS 2020):
+//!
+//! * [`Value`] — elements of the infinite data domain `𝔻`.
+//! * [`Schema`] — relational signatures with constants.
+//! * [`Database`] — finite relational structures over `𝔻`.
+//! * [`SigmaType`] — quantifier-free conjunctive formulas ("types") over the
+//!   register variables `x̄` (current) and `ȳ` (next), with satisfiability,
+//!   restriction, completion, and compatibility checks.
+//! * [`Qf`] — arbitrary quantifier-free first-order formulas, used by the
+//!   LTL-FO verification layer (Definition 11 of the paper).
+
+pub mod database;
+pub mod error;
+pub mod literal;
+pub mod qf;
+pub mod schema;
+pub mod term;
+pub mod types;
+pub mod value;
+
+pub use database::Database;
+pub use error::DataError;
+pub use literal::Literal;
+pub use qf::{Qf, QfTerm};
+pub use schema::{ConstSym, RelSym, Schema};
+pub use term::{RegIdx, Term};
+pub use types::SigmaType;
+pub use value::{Value, ValueSupply};

@@ -1,0 +1,172 @@
+//! Literals of σ-types: (in)equalities between terms and (negated)
+//! relational atoms.
+
+use crate::schema::RelSym;
+use crate::term::Term;
+use std::fmt;
+
+/// A literal over a schema: an (in)equality between terms, or a positive or
+/// negative relational atom.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Literal {
+    /// `s = t`. Stored with `s <= t` (canonical form; see [`Literal::eq`]).
+    Eq(Term, Term),
+    /// `s ≠ t`. Stored with `s <= t`.
+    Neq(Term, Term),
+    /// `R(args)` if `positive`, `¬R(args)` otherwise.
+    Rel {
+        /// The relation symbol.
+        rel: RelSym,
+        /// Argument terms, of length `arity(rel)`.
+        args: Vec<Term>,
+        /// Whether the atom is positive.
+        positive: bool,
+    },
+}
+
+impl Literal {
+    /// Canonical equality literal (orders the two terms).
+    pub fn eq(s: Term, t: Term) -> Literal {
+        if s <= t {
+            Literal::Eq(s, t)
+        } else {
+            Literal::Eq(t, s)
+        }
+    }
+
+    /// Canonical inequality literal (orders the two terms).
+    pub fn neq(s: Term, t: Term) -> Literal {
+        if s <= t {
+            Literal::Neq(s, t)
+        } else {
+            Literal::Neq(t, s)
+        }
+    }
+
+    /// Positive relational atom.
+    pub fn rel(rel: RelSym, args: Vec<Term>) -> Literal {
+        Literal::Rel {
+            rel,
+            args,
+            positive: true,
+        }
+    }
+
+    /// Negative relational atom.
+    pub fn not_rel(rel: RelSym, args: Vec<Term>) -> Literal {
+        Literal::Rel {
+            rel,
+            args,
+            positive: false,
+        }
+    }
+
+    /// The logical negation of this literal.
+    pub fn negated(&self) -> Literal {
+        match self {
+            Literal::Eq(s, t) => Literal::Neq(*s, *t),
+            Literal::Neq(s, t) => Literal::Eq(*s, *t),
+            Literal::Rel {
+                rel,
+                args,
+                positive,
+            } => Literal::Rel {
+                rel: *rel,
+                args: args.clone(),
+                positive: !positive,
+            },
+        }
+    }
+
+    /// Is this literal a positive relational atom?
+    pub fn is_positive_rel(&self) -> bool {
+        matches!(self, Literal::Rel { positive: true, .. })
+    }
+
+    /// All terms mentioned by the literal.
+    pub fn terms(&self) -> Vec<Term> {
+        match self {
+            Literal::Eq(s, t) | Literal::Neq(s, t) => vec![*s, *t],
+            Literal::Rel { args, .. } => args.clone(),
+        }
+    }
+
+    /// Applies a term substitution, re-canonicalizing (in)equalities.
+    pub fn map_terms(&self, f: impl Fn(Term) -> Term) -> Literal {
+        match self {
+            Literal::Eq(s, t) => Literal::eq(f(*s), f(*t)),
+            Literal::Neq(s, t) => Literal::neq(f(*s), f(*t)),
+            Literal::Rel {
+                rel,
+                args,
+                positive,
+            } => Literal::Rel {
+                rel: *rel,
+                args: args.iter().map(|t| f(*t)).collect(),
+                positive: *positive,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Eq(s, t) => write!(f, "{s}={t}"),
+            Literal::Neq(s, t) => write!(f, "{s}≠{t}"),
+            Literal::Rel {
+                rel,
+                args,
+                positive,
+            } => {
+                if !positive {
+                    write!(f, "¬")?;
+                }
+                write!(f, "R{}(", rel.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_is_canonical() {
+        assert_eq!(
+            Literal::eq(Term::y(0), Term::x(0)),
+            Literal::eq(Term::x(0), Term::y(0))
+        );
+    }
+
+    #[test]
+    fn negation_flips() {
+        let l = Literal::eq(Term::x(0), Term::x(1));
+        assert_eq!(l.negated(), Literal::neq(Term::x(0), Term::x(1)));
+        assert_eq!(l.negated().negated(), l);
+        let r = Literal::rel(RelSym(0), vec![Term::x(0)]);
+        assert!(!r.negated().is_positive_rel());
+    }
+
+    #[test]
+    fn map_terms_recanonicalizes() {
+        // x0 = x1 mapped through x->y swap order-sensitively still canonical
+        let l = Literal::eq(Term::x(0), Term::x(1));
+        let m = l.map_terms(|t| if t == Term::x(0) { Term::y(5) } else { t });
+        assert_eq!(m, Literal::eq(Term::x(1), Term::y(5)));
+    }
+
+    #[test]
+    fn terms_listed() {
+        let l = Literal::rel(RelSym(0), vec![Term::x(0), Term::cst(0)]);
+        assert_eq!(l.terms(), vec![Term::x(0), Term::cst(0)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Relational signatures (database schemas).
+//!
+//! A schema is a finite set of relation symbols with associated arities,
+//! plus finitely many constant symbols (Section 2 of the paper). The empty
+//! schema corresponds to register automata "without a database".
+
+use crate::error::DataError;
+use std::fmt;
+
+/// Index of a relation symbol within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelSym(pub u32);
+
+/// Index of a constant symbol within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConstSym(pub u32);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RelDecl {
+    name: String,
+    arity: usize,
+}
+
+/// A relational signature: named relation symbols with arities, and named
+/// constant symbols.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    relations: Vec<RelDecl>,
+    constants: Vec<String>,
+}
+
+impl Schema {
+    /// The empty schema (no relations, no constants). Register automata over
+    /// the empty schema are the "no database" automata of Sections 4 and 5.
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// Returns `true` if the schema has no relation and no constant symbols.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty() && self.constants.is_empty()
+    }
+
+    /// Declares a relation symbol with the given arity.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelSym, DataError> {
+        if self.relations.iter().any(|r| r.name == name) {
+            return Err(DataError::DuplicateSymbol(name.to_string()));
+        }
+        let sym = RelSym(self.relations.len() as u32);
+        self.relations.push(RelDecl {
+            name: name.to_string(),
+            arity,
+        });
+        Ok(sym)
+    }
+
+    /// Declares a constant symbol.
+    pub fn add_constant(&mut self, name: &str) -> Result<ConstSym, DataError> {
+        if self.constants.iter().any(|c| c == name) {
+            return Err(DataError::DuplicateSymbol(name.to_string()));
+        }
+        let sym = ConstSym(self.constants.len() as u32);
+        self.constants.push(name.to_string());
+        Ok(sym)
+    }
+
+    /// Builder-style convenience: a schema from `(name, arity)` relation
+    /// declarations and constant names. Panics on duplicates (intended for
+    /// statically-known schemas in tests and examples).
+    pub fn with(relations: &[(&str, usize)], constants: &[&str]) -> Self {
+        let mut s = Schema::empty();
+        for (name, arity) in relations {
+            s.add_relation(name, *arity).expect("duplicate relation");
+        }
+        for name in constants {
+            s.add_constant(name).expect("duplicate constant");
+        }
+        s
+    }
+
+    /// Number of relation symbols.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of constant symbols.
+    pub fn num_constants(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// All relation symbols.
+    pub fn relations(&self) -> impl Iterator<Item = RelSym> + '_ {
+        (0..self.relations.len() as u32).map(RelSym)
+    }
+
+    /// All constant symbols.
+    pub fn constants(&self) -> impl Iterator<Item = ConstSym> + '_ {
+        (0..self.constants.len() as u32).map(ConstSym)
+    }
+
+    /// Looks up a relation symbol by name.
+    pub fn relation(&self, name: &str) -> Result<RelSym, DataError> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelSym(i as u32))
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up a constant symbol by name.
+    pub fn constant(&self, name: &str) -> Result<ConstSym, DataError> {
+        self.constants
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ConstSym(i as u32))
+            .ok_or_else(|| DataError::UnknownConstant(name.to_string()))
+    }
+
+    /// The arity of a relation symbol.
+    pub fn arity(&self, rel: RelSym) -> usize {
+        self.relations[rel.0 as usize].arity
+    }
+
+    /// The name of a relation symbol.
+    pub fn relation_name(&self, rel: RelSym) -> &str {
+        &self.relations[rel.0 as usize].name
+    }
+
+    /// The name of a constant symbol.
+    pub fn constant_name(&self, c: ConstSym) -> &str {
+        &self.constants[c.0 as usize]
+    }
+
+    /// Checks a relation application for arity, returning a helpful error.
+    pub fn check_arity(&self, rel: RelSym, got: usize) -> Result<(), DataError> {
+        let expected = self.arity(rel);
+        if expected != got {
+            return Err(DataError::ArityMismatch {
+                relation: self.relation_name(rel).to_string(),
+                expected,
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ = {{")?;
+        let mut first = true;
+        for r in &self.relations {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}/{}", r.name, r.arity)?;
+        }
+        for c in &self.constants {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "const {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.num_relations(), 0);
+        assert_eq!(s.num_constants(), 0);
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut s = Schema::empty();
+        let e = s.add_relation("E", 2).unwrap();
+        let u = s.add_relation("U", 1).unwrap();
+        let c = s.add_constant("c").unwrap();
+        assert_eq!(s.relation("E").unwrap(), e);
+        assert_eq!(s.relation("U").unwrap(), u);
+        assert_eq!(s.constant("c").unwrap(), c);
+        assert_eq!(s.arity(e), 2);
+        assert_eq!(s.arity(u), 1);
+        assert_eq!(s.relation_name(e), "E");
+        assert_eq!(s.constant_name(c), "c");
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = Schema::empty();
+        s.add_relation("R", 1).unwrap();
+        assert_eq!(
+            s.add_relation("R", 2),
+            Err(DataError::DuplicateSymbol("R".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_constant_rejected() {
+        let mut s = Schema::empty();
+        s.add_constant("c").unwrap();
+        assert!(s.add_constant("c").is_err());
+    }
+
+    #[test]
+    fn unknown_lookup_fails() {
+        let s = Schema::empty();
+        assert!(s.relation("R").is_err());
+        assert!(s.constant("c").is_err());
+    }
+
+    #[test]
+    fn arity_check() {
+        let s = Schema::with(&[("E", 2)], &[]);
+        let e = s.relation("E").unwrap();
+        assert!(s.check_arity(e, 2).is_ok());
+        assert!(s.check_arity(e, 3).is_err());
+    }
+
+    #[test]
+    fn display_lists_symbols() {
+        let s = Schema::with(&[("E", 2), ("U", 1)], &["c"]);
+        let d = s.to_string();
+        assert!(d.contains("E/2"));
+        assert!(d.contains("U/1"));
+        assert!(d.contains("const c"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The infinite data domain `𝔻`.
+//!
+//! Values are opaque identifiers. The paper fixes a countably infinite data
+//! domain; we realize it as the set of `u64` identifiers, together with a
+//! [`ValueSupply`] that hands out values never seen before (needed, e.g., by
+//! the witness constructions of Theorem 9, which require "fresh" elements,
+//! and by the technical assumption that every run leaves out infinitely many
+//! values of `𝔻`).
+
+use std::fmt;
+
+/// An element of the infinite data domain `𝔻`.
+///
+/// Values are compared only for (in)equality — exactly the operations
+/// register automata may perform on data. The numeric payload is an
+/// implementation detail used for interning and display.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// Returns the raw identifier of this value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(raw: u64) -> Self {
+        Value(raw)
+    }
+}
+
+/// A supply of fresh data values.
+///
+/// `ValueSupply::fresh` never returns a value it has returned before, and a
+/// supply created with [`ValueSupply::above`] never returns a value `<=` the
+/// given bound, so it can be seeded past the active domain of any finite
+/// database or run prefix.
+#[derive(Clone, Debug)]
+pub struct ValueSupply {
+    next: u64,
+}
+
+impl ValueSupply {
+    /// Creates a supply starting at a large offset, far away from the small
+    /// identifiers that tests and examples typically use for named values.
+    pub fn new() -> Self {
+        ValueSupply { next: 1 << 32 }
+    }
+
+    /// Creates a supply whose values are all strictly greater than `bound`.
+    pub fn above(bound: Value) -> Self {
+        ValueSupply {
+            next: bound.0.saturating_add(1),
+        }
+    }
+
+    /// Creates a supply whose values avoid everything in `used`.
+    pub fn avoiding<I: IntoIterator<Item = Value>>(used: I) -> Self {
+        let max = used.into_iter().map(|v| v.0).max().unwrap_or(0);
+        ValueSupply {
+            next: max.saturating_add(1),
+        }
+    }
+
+    /// Returns a value not returned before by this supply.
+    pub fn fresh(&mut self) -> Value {
+        let v = Value(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// Returns `n` distinct fresh values.
+    pub fn fresh_n(&mut self, n: usize) -> Vec<Value> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+}
+
+impl Default for ValueSupply {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_values_are_distinct() {
+        let mut s = ValueSupply::new();
+        let a = s.fresh();
+        let b = s.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn above_respects_bound() {
+        let mut s = ValueSupply::above(Value(17));
+        assert!(s.fresh().0 > 17);
+    }
+
+    #[test]
+    fn avoiding_respects_used_set() {
+        let mut s = ValueSupply::avoiding([Value(3), Value(99), Value(7)]);
+        let v = s.fresh();
+        assert!(v.0 > 99);
+    }
+
+    #[test]
+    fn fresh_n_is_pairwise_distinct() {
+        let mut s = ValueSupply::new();
+        let vs = s.fresh_n(100);
+        let set: std::collections::HashSet<_> = vs.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Value(5).to_string(), "d5");
+        assert_eq!(format!("{:?}", Value(5)), "d5");
+    }
+}

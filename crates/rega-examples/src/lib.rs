@@ -1,0 +1,1 @@
+//! Examples live in /examples at the repository root; see the `[[example]]` entries in Cargo.toml.

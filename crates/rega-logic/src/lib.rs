@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Temporal logic for register automata: LTL and LTL-FO (Definition 11 of
+//! *Projection Views of Register Automata*, Segoufin & Vianu, PODS 2020).
+//!
+//! * [`ltl`] — propositional linear-time temporal logic: AST, parser,
+//!   negation normal form.
+//! * [`translate`] — the GPVW tableau translation of LTL to generalized
+//!   Büchi automata with guard-labeled states, ready to be instantiated
+//!   against the control traces of an automaton.
+//! * [`ltlfo`] — LTL-FO: LTL whose propositions are quantifier-free FO
+//!   formulas over the registers (`x̄`, `ȳ`), global variables `z̄`, and the
+//!   database.
+
+pub mod ltl;
+pub mod ltlfo;
+pub mod translate;
+
+pub use ltl::{Ltl, LtlParseError};
+pub use ltlfo::LtlFo;
+pub use translate::{Guard, LtlAutomaton};

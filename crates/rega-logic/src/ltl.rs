@@ -1,0 +1,579 @@
+//! Linear-time temporal logic: AST, parser, and negation normal form.
+//!
+//! The temporal operators are `X` (next), `U` (until), `R` (release),
+//! `G` (always), `F` (eventually), plus the boolean connectives. `G`/`F`
+//! are derived forms expanded during NNF conversion.
+
+use std::fmt;
+
+/// An LTL formula over propositions of type `P`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ltl<P> {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// An atomic proposition.
+    Prop(P),
+    /// Negation.
+    Not(Box<Ltl<P>>),
+    /// Conjunction.
+    And(Box<Ltl<P>>, Box<Ltl<P>>),
+    /// Disjunction.
+    Or(Box<Ltl<P>>, Box<Ltl<P>>),
+    /// Next.
+    Next(Box<Ltl<P>>),
+    /// Until: `φ U ψ`.
+    Until(Box<Ltl<P>>, Box<Ltl<P>>),
+    /// Release: `φ R ψ` (dual of until).
+    Release(Box<Ltl<P>>, Box<Ltl<P>>),
+    /// Eventually `F φ` (derived).
+    Finally(Box<Ltl<P>>),
+    /// Always `G φ` (derived).
+    Globally(Box<Ltl<P>>),
+}
+
+impl<P: Clone> Ltl<P> {
+    /// `φ → ψ` as a derived form.
+    pub fn implies(p: Ltl<P>, q: Ltl<P>) -> Ltl<P> {
+        Ltl::Or(Box::new(Ltl::Not(Box::new(p))), Box::new(q))
+    }
+
+    /// The negation of this formula.
+    pub fn negated(&self) -> Ltl<P> {
+        Ltl::Not(Box::new(self.clone()))
+    }
+
+    /// Negation normal form: negations pushed to the propositions, `F`/`G`
+    /// expanded into `U`/`R`.
+    pub fn nnf(&self) -> Ltl<P> {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, neg: bool) -> Ltl<P> {
+        match self {
+            Ltl::True => {
+                if neg {
+                    Ltl::False
+                } else {
+                    Ltl::True
+                }
+            }
+            Ltl::False => {
+                if neg {
+                    Ltl::True
+                } else {
+                    Ltl::False
+                }
+            }
+            Ltl::Prop(p) => {
+                if neg {
+                    Ltl::Not(Box::new(Ltl::Prop(p.clone())))
+                } else {
+                    Ltl::Prop(p.clone())
+                }
+            }
+            Ltl::Not(inner) => inner.nnf_inner(!neg),
+            Ltl::And(a, b) => {
+                let (a, b) = (a.nnf_inner(neg), b.nnf_inner(neg));
+                if neg {
+                    Ltl::Or(Box::new(a), Box::new(b))
+                } else {
+                    Ltl::And(Box::new(a), Box::new(b))
+                }
+            }
+            Ltl::Or(a, b) => {
+                let (a, b) = (a.nnf_inner(neg), b.nnf_inner(neg));
+                if neg {
+                    Ltl::And(Box::new(a), Box::new(b))
+                } else {
+                    Ltl::Or(Box::new(a), Box::new(b))
+                }
+            }
+            Ltl::Next(a) => Ltl::Next(Box::new(a.nnf_inner(neg))),
+            Ltl::Until(a, b) => {
+                let (a, b) = (a.nnf_inner(neg), b.nnf_inner(neg));
+                if neg {
+                    Ltl::Release(Box::new(a), Box::new(b))
+                } else {
+                    Ltl::Until(Box::new(a), Box::new(b))
+                }
+            }
+            Ltl::Release(a, b) => {
+                let (a, b) = (a.nnf_inner(neg), b.nnf_inner(neg));
+                if neg {
+                    Ltl::Until(Box::new(a), Box::new(b))
+                } else {
+                    Ltl::Release(Box::new(a), Box::new(b))
+                }
+            }
+            // F φ = true U φ; ¬F φ = false R ¬φ (= G ¬φ)
+            Ltl::Finally(a) => {
+                if neg {
+                    Ltl::Release(Box::new(Ltl::False), Box::new(a.nnf_inner(true)))
+                } else {
+                    Ltl::Until(Box::new(Ltl::True), Box::new(a.nnf_inner(false)))
+                }
+            }
+            // G φ = false R φ; ¬G φ = true U ¬φ
+            Ltl::Globally(a) => {
+                if neg {
+                    Ltl::Until(Box::new(Ltl::True), Box::new(a.nnf_inner(true)))
+                } else {
+                    Ltl::Release(Box::new(Ltl::False), Box::new(a.nnf_inner(false)))
+                }
+            }
+        }
+    }
+
+    /// Maps the propositions through `f`.
+    pub fn map_props<Q>(&self, f: &impl Fn(&P) -> Q) -> Ltl<Q> {
+        match self {
+            Ltl::True => Ltl::True,
+            Ltl::False => Ltl::False,
+            Ltl::Prop(p) => Ltl::Prop(f(p)),
+            Ltl::Not(a) => Ltl::Not(Box::new(a.map_props(f))),
+            Ltl::And(a, b) => Ltl::And(Box::new(a.map_props(f)), Box::new(b.map_props(f))),
+            Ltl::Or(a, b) => Ltl::Or(Box::new(a.map_props(f)), Box::new(b.map_props(f))),
+            Ltl::Next(a) => Ltl::Next(Box::new(a.map_props(f))),
+            Ltl::Until(a, b) => Ltl::Until(Box::new(a.map_props(f)), Box::new(b.map_props(f))),
+            Ltl::Release(a, b) => {
+                Ltl::Release(Box::new(a.map_props(f)), Box::new(b.map_props(f)))
+            }
+            Ltl::Finally(a) => Ltl::Finally(Box::new(a.map_props(f))),
+            Ltl::Globally(a) => Ltl::Globally(Box::new(a.map_props(f))),
+        }
+    }
+
+    /// Evaluates the formula on an ultimately periodic word of truth
+    /// assignments (reference semantics, used by tests to validate the
+    /// automaton translation). `assign(pos, prop)` gives the truth of a
+    /// proposition at a position; `prefix + period` describe the lasso.
+    pub fn eval_lasso(&self, prefix: usize, period: usize, assign: &impl Fn(usize, &P) -> bool) -> bool {
+        // Positions 0 .. prefix + period are pairwise distinct "time points";
+        // position wraps from prefix+period-1 back to prefix.
+        let horizon = prefix + period;
+        let next = |m: usize| if m + 1 < horizon { m + 1 } else { prefix };
+        // Memoized recursive evaluation over (formula structurally, position)
+        // — formulas are small, so recompute per position without memo.
+        fn go<P>(
+            f: &Ltl<P>,
+            m: usize,
+            horizon: usize,
+            next: &impl Fn(usize) -> usize,
+            assign: &impl Fn(usize, &P) -> bool,
+        ) -> bool {
+            match f {
+                Ltl::True => true,
+                Ltl::False => false,
+                Ltl::Prop(p) => assign(m, p),
+                Ltl::Not(a) => !go(a, m, horizon, next, assign),
+                Ltl::And(a, b) => {
+                    go(a, m, horizon, next, assign) && go(b, m, horizon, next, assign)
+                }
+                Ltl::Or(a, b) => {
+                    go(a, m, horizon, next, assign) || go(b, m, horizon, next, assign)
+                }
+                Ltl::Next(a) => go(a, next(m), horizon, next, assign),
+                Ltl::Finally(a) => {
+                    // positions reachable from m: m, next(m), ... (≤ horizon many)
+                    let mut pos = m;
+                    for _ in 0..=horizon {
+                        if go(a, pos, horizon, next, assign) {
+                            return true;
+                        }
+                        pos = next(pos);
+                    }
+                    false
+                }
+                Ltl::Globally(a) => {
+                    let mut pos = m;
+                    for _ in 0..=horizon {
+                        if !go(a, pos, horizon, next, assign) {
+                            return false;
+                        }
+                        pos = next(pos);
+                    }
+                    true
+                }
+                Ltl::Until(a, b) => {
+                    let mut pos = m;
+                    for _ in 0..=horizon {
+                        if go(b, pos, horizon, next, assign) {
+                            return true;
+                        }
+                        if !go(a, pos, horizon, next, assign) {
+                            return false;
+                        }
+                        pos = next(pos);
+                    }
+                    false
+                }
+                Ltl::Release(a, b) => {
+                    // a R b ≡ ¬(¬a U ¬b)
+                    let mut pos = m;
+                    for _ in 0..=horizon {
+                        if !go(b, pos, horizon, next, assign) {
+                            return false;
+                        }
+                        if go(a, pos, horizon, next, assign) {
+                            return true;
+                        }
+                        pos = next(pos);
+                    }
+                    true
+                }
+            }
+        }
+        go(self, 0, horizon, &next, assign)
+    }
+}
+
+/// Errors from [`Ltl::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LtlParseError(pub String);
+
+impl fmt::Display for LtlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LTL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LtlParseError {}
+
+impl Ltl<String> {
+    /// Parses an LTL formula with identifier propositions.
+    ///
+    /// Grammar (loosest binding first): `->`, `|`, `&`, `U`/`R` (right
+    /// associative), prefix `!`, `X`, `F`, `G`, atoms `true`, `false`,
+    /// identifiers, parentheses.
+    pub fn parse(input: &str) -> Result<Ltl<String>, LtlParseError> {
+        let tokens = ltl_tokenize(input)?;
+        let mut p = LtlParser { tokens, pos: 0 };
+        let f = p.implication()?;
+        if p.pos != p.tokens.len() {
+            return Err(LtlParseError("trailing input".into()));
+        }
+        Ok(f)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Arrow,
+    Next,
+    Finally,
+    Globally,
+    Until,
+    Release,
+    LParen,
+    RParen,
+}
+
+fn ltl_tokenize(input: &str) -> Result<Vec<Tok>, LtlParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '!' => {
+                chars.next();
+                out.push(Tok::Not);
+            }
+            '&' => {
+                chars.next();
+                out.push(Tok::And);
+            }
+            '|' => {
+                chars.next();
+                out.push(Tok::Or);
+            }
+            '-' => {
+                chars.next();
+                if chars.next() != Some('>') {
+                    return Err(LtlParseError("expected `->`".into()));
+                }
+                out.push(Tok::Arrow);
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(match ident.as_str() {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "X" => Tok::Next,
+                    "F" => Tok::Finally,
+                    "G" => Tok::Globally,
+                    "U" => Tok::Until,
+                    "R" => Tok::Release,
+                    _ => Tok::Ident(ident),
+                });
+            }
+            other => return Err(LtlParseError(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct LtlParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl LtlParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn implication(&mut self) -> Result<Ltl<String>, LtlParseError> {
+        let lhs = self.disjunction()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.implication()?;
+            Ok(Ltl::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Ltl<String>, LtlParseError> {
+        let mut lhs = self.conjunction()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.conjunction()?;
+            lhs = Ltl::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn conjunction(&mut self) -> Result<Ltl<String>, LtlParseError> {
+        let mut lhs = self.until()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.until()?;
+            lhs = Ltl::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Ltl<String>, LtlParseError> {
+        let lhs = self.unary()?;
+        if self.eat(&Tok::Until) {
+            let rhs = self.until()?;
+            Ok(Ltl::Until(Box::new(lhs), Box::new(rhs)))
+        } else if self.eat(&Tok::Release) {
+            let rhs = self.until()?;
+            Ok(Ltl::Release(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ltl<String>, LtlParseError> {
+        if self.eat(&Tok::Not) {
+            Ok(Ltl::Not(Box::new(self.unary()?)))
+        } else if self.eat(&Tok::Next) {
+            Ok(Ltl::Next(Box::new(self.unary()?)))
+        } else if self.eat(&Tok::Finally) {
+            Ok(Ltl::Finally(Box::new(self.unary()?)))
+        } else if self.eat(&Tok::Globally) {
+            Ok(Ltl::Globally(Box::new(self.unary()?)))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ltl<String>, LtlParseError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Ltl::True)
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(Ltl::False)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Ltl::Prop(name))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.implication()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(LtlParseError("expected `)`".into()));
+                }
+                Ok(inner)
+            }
+            other => Err(LtlParseError(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for Ltl<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(p) => write!(f, "{p}"),
+            Ltl::Not(a) => write!(f, "!({a})"),
+            Ltl::And(a, b) => write!(f, "({a} & {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ltl::Next(a) => write!(f, "X ({a})"),
+            Ltl::Until(a, b) => write!(f, "({a} U {b})"),
+            Ltl::Release(a, b) => write!(f, "({a} R {b})"),
+            Ltl::Finally(a) => write!(f, "F ({a})"),
+            Ltl::Globally(a) => write!(f, "G ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let f = Ltl::parse("G (p -> F q)").unwrap();
+        assert_eq!(
+            f,
+            Ltl::Globally(Box::new(Ltl::implies(
+                Ltl::Prop("p".into()),
+                Ltl::Finally(Box::new(Ltl::Prop("q".into())))
+            )))
+        );
+    }
+
+    #[test]
+    fn parse_until_right_assoc() {
+        let f = Ltl::parse("p U q U r").unwrap();
+        assert_eq!(
+            f,
+            Ltl::Until(
+                Box::new(Ltl::Prop("p".into())),
+                Box::new(Ltl::Until(
+                    Box::new(Ltl::Prop("q".into())),
+                    Box::new(Ltl::Prop("r".into()))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Ltl::parse("(p").is_err());
+        assert!(Ltl::parse("p q").is_err());
+        assert!(Ltl::parse("p -").is_err());
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let f = Ltl::parse("!(p & X q)").unwrap().nnf();
+        assert_eq!(
+            f,
+            Ltl::Or(
+                Box::new(Ltl::Not(Box::new(Ltl::Prop("p".into())))),
+                Box::new(Ltl::Next(Box::new(Ltl::Not(Box::new(Ltl::Prop(
+                    "q".into()
+                ))))))
+            )
+        );
+    }
+
+    #[test]
+    fn nnf_expands_fg() {
+        let f = Ltl::parse("!F p").unwrap().nnf();
+        // ¬F p = false R ¬p
+        assert_eq!(
+            f,
+            Ltl::Release(
+                Box::new(Ltl::False),
+                Box::new(Ltl::Not(Box::new(Ltl::Prop("p".into()))))
+            )
+        );
+    }
+
+    #[test]
+    fn eval_lasso_g_and_f() {
+        // word: p holds at even positions; lasso prefix 0, period 2.
+        let assign = |m: usize, p: &String| (p == "p") == (m % 2 == 0);
+        let gfp = Ltl::parse("G (F p)").unwrap();
+        assert!(gfp.eval_lasso(0, 2, &assign));
+        let gp = Ltl::parse("G p").unwrap();
+        assert!(!gp.eval_lasso(0, 2, &assign));
+        let xp = Ltl::parse("X p").unwrap();
+        assert!(!xp.eval_lasso(0, 2, &assign));
+        let xxp = Ltl::parse("X X p").unwrap();
+        assert!(xxp.eval_lasso(0, 2, &assign));
+    }
+
+    #[test]
+    fn eval_lasso_until() {
+        // p p p q q q q ... (q from position 3 onwards, period 1)
+        let assign = |m: usize, p: &String| match p.as_str() {
+            "p" => m < 3,
+            "q" => m >= 3,
+            _ => false,
+        };
+        let f = Ltl::parse("p U q").unwrap();
+        assert!(f.eval_lasso(3, 1, &assign));
+        let g = Ltl::parse("q U p").unwrap();
+        assert!(g.eval_lasso(3, 1, &assign)); // p holds immediately
+        let h = Ltl::parse("G q").unwrap();
+        assert!(!h.eval_lasso(3, 1, &assign));
+    }
+
+    #[test]
+    fn eval_release() {
+        // a R b: b must hold until (and including when) a holds.
+        let assign = |m: usize, p: &String| match p.as_str() {
+            "a" => m == 2,
+            "b" => m <= 2,
+            _ => false,
+        };
+        let f = Ltl::parse("a R b").unwrap();
+        assert!(f.eval_lasso(4, 1, &assign));
+        // without a ever: b must hold globally
+        let assign2 = |m: usize, p: &String| p == "b" && m < 10;
+        assert!(!f.eval_lasso(12, 1, &assign2));
+    }
+
+    #[test]
+    fn map_props() {
+        let f = Ltl::parse("p U q").unwrap();
+        let g = f.map_props(&|p| if p == "p" { 0u32 } else { 1 });
+        assert_eq!(
+            g,
+            Ltl::Until(Box::new(Ltl::Prop(0)), Box::new(Ltl::Prop(1)))
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! LTL-FO (Definition 11): LTL whose propositions are quantifier-free FO
+//! formulas over the registers and database, with universally quantified
+//! global variables `z̄`.
+//!
+//! An LTL-FO sentence is `∀z̄ φ_f` where `φ` is an LTL formula over
+//! propositions `P` and `f` maps each proposition to a quantifier-free FO
+//! formula over `x̄ ȳ z̄`. The verifier eliminates the global variables by
+//! adding `|z̄|` constant registers (see `rega-analysis::verify`), as the
+//! paper describes.
+
+use crate::ltl::{Ltl, LtlParseError};
+use rega_data::{Qf, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An LTL-FO sentence `∀z̄ φ_f`: an LTL skeleton over proposition indices
+/// plus the interpretation of each proposition as a quantifier-free formula.
+#[derive(Clone, Debug)]
+pub struct LtlFo {
+    /// The LTL skeleton; propositions are indices into `props`.
+    pub formula: Ltl<u32>,
+    /// Proposition interpretations `f(p)`.
+    pub props: Vec<Qf>,
+    /// Human-readable names of the propositions (parallel to `props`).
+    pub prop_names: Vec<String>,
+}
+
+impl LtlFo {
+    /// Builds an LTL-FO sentence from a textual LTL skeleton and named
+    /// proposition interpretations.
+    ///
+    /// ```
+    /// use rega_logic::LtlFo;
+    /// use rega_data::{Qf, QfTerm, Schema};
+    /// // G (stable -> X stable) with stable ≡ x1 = y1
+    /// let f = LtlFo::new(
+    ///     "G stable",
+    ///     [("stable", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))],
+    /// ).unwrap();
+    /// assert_eq!(f.props.len(), 1);
+    /// ```
+    pub fn new<'a>(
+        skeleton: &str,
+        props: impl IntoIterator<Item = (&'a str, Qf)>,
+    ) -> Result<LtlFo, LtlParseError> {
+        let named: BTreeMap<String, Qf> = props
+            .into_iter()
+            .map(|(n, q)| (n.to_string(), q))
+            .collect();
+        let parsed = Ltl::parse(skeleton)?;
+        // Collect propositions in order of first appearance; fail on unknown.
+        use std::cell::RefCell;
+        let prop_names: RefCell<Vec<String>> = RefCell::new(Vec::new());
+        let prop_list: RefCell<Vec<Qf>> = RefCell::new(Vec::new());
+        let err: RefCell<Option<String>> = RefCell::new(None);
+        let formula = parsed.map_props(&|name: &String| {
+            let mut names = prop_names.borrow_mut();
+            if let Some(i) = names.iter().position(|n| n == name) {
+                return i as u32;
+            }
+            match named.get(name) {
+                Some(q) => {
+                    names.push(name.clone());
+                    let mut list = prop_list.borrow_mut();
+                    list.push(q.clone());
+                    (list.len() - 1) as u32
+                }
+                None => {
+                    *err.borrow_mut() = Some(name.clone());
+                    u32::MAX
+                }
+            }
+        });
+        if let Some(name) = err.into_inner() {
+            return Err(LtlParseError(format!("unknown proposition `{name}`")));
+        }
+        Ok(LtlFo {
+            formula,
+            props: prop_list.into_inner(),
+            prop_names: prop_names.into_inner(),
+        })
+    }
+
+    /// The number of global variables `z̄` used across all propositions.
+    pub fn num_globals(&self) -> u16 {
+        self.props.iter().map(|q| q.num_globals()).max().unwrap_or(0)
+    }
+
+    /// Validates every proposition against the schema and register counts.
+    pub fn validate(&self, schema: &Schema, k: u16) -> Result<(), rega_data::DataError> {
+        let nz = self.num_globals();
+        for q in &self.props {
+            q.validate(schema, k, nz)?;
+        }
+        Ok(())
+    }
+
+    /// Eliminates global variables: every `z_i` becomes register `base + i`.
+    /// Returns the rewritten sentence (no globals). The verifier pairs this
+    /// with an automaton transformation that adds `|z̄|` constant registers.
+    pub fn eliminate_globals(&self, base: u16) -> LtlFo {
+        LtlFo {
+            formula: self.formula.clone(),
+            props: self
+                .props
+                .iter()
+                .map(|q| q.map_z_to_registers(base))
+                .collect(),
+            prop_names: self.prop_names.clone(),
+        }
+    }
+
+    /// The negated sentence skeleton (used by the verifier: `𝒜 ⊨ φ` iff no
+    /// run satisfies `¬φ`). Note: this negates `φ_f` *for a fixed valuation
+    /// of the globals*; the verifier existentially searches the valuation
+    /// through the added registers, matching `∃z̄ ¬φ_f ≡ ¬∀z̄ φ_f`.
+    pub fn negated(&self) -> LtlFo {
+        LtlFo {
+            formula: self.formula.negated(),
+            props: self.props.clone(),
+            prop_names: self.prop_names.clone(),
+        }
+    }
+}
+
+impl fmt::Display for LtlFo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nz = self.num_globals();
+        if nz > 0 {
+            write!(f, "∀z1..z{nz} ")?;
+        }
+        let pretty = self
+            .formula
+            .map_props(&|i: &u32| self.prop_names[*i as usize].clone());
+        write!(f, "{pretty}")?;
+        for (n, q) in self.prop_names.iter().zip(self.props.iter()) {
+            write!(f, " [{n} ≡ {q}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_data::QfTerm;
+
+    #[test]
+    fn build_and_validate() {
+        let f = LtlFo::new(
+            "G (moves -> X moves)",
+            [("moves", Qf::neq(QfTerm::x(0), QfTerm::y(0)))],
+        )
+        .unwrap();
+        assert_eq!(f.props.len(), 1);
+        assert!(f.validate(&Schema::empty(), 1).is_ok());
+        assert!(f.validate(&Schema::empty(), 0).is_err());
+    }
+
+    #[test]
+    fn unknown_prop_rejected() {
+        assert!(LtlFo::new("G p", []).is_err());
+    }
+
+    #[test]
+    fn duplicate_prop_use_shares_index() {
+        let f = LtlFo::new(
+            "p & X p",
+            [("p", Qf::Eq(QfTerm::x(0), QfTerm::x(0)))],
+        )
+        .unwrap();
+        assert_eq!(f.props.len(), 1);
+    }
+
+    #[test]
+    fn globals_counted_and_eliminated() {
+        let f = LtlFo::new(
+            "G p",
+            [("p", Qf::neq(QfTerm::x(0), QfTerm::z(1)))],
+        )
+        .unwrap();
+        assert_eq!(f.num_globals(), 2);
+        let g = f.eliminate_globals(3);
+        assert_eq!(g.num_globals(), 0);
+        // z2 became x5 (base 3 + index 1)
+        assert_eq!(g.props[0], Qf::neq(QfTerm::x(0), QfTerm::x(4)));
+    }
+
+    #[test]
+    fn display_shows_interpretation() {
+        let f = LtlFo::new("F done", [("done", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))]).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("done"));
+        assert!(s.contains("≡"));
+    }
+}

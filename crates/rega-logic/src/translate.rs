@@ -1,0 +1,489 @@
+//! Translation of LTL to generalized Büchi automata (the classic
+//! Gerth–Peled–Vardi–Wolper tableau expansion).
+//!
+//! The output automaton's states carry [`Guard`]s: the propositions each
+//! state requires true and false at its position.
+//! The automaton is instantiated against a concrete ω-word (or a Büchi
+//! automaton of control traces) by evaluating the guards per position —
+//! this is how Theorem 12's verification pipeline plugs LTL-FO propositions
+//! (decided by complete transition types) into the product construction.
+
+use crate::ltl::Ltl;
+use rega_automata::{Lasso, Nba};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// The propositional requirements of an atom: `pos` must be true, `neg`
+/// must be false; other propositions are unconstrained.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Guard<P> {
+    /// Propositions required true.
+    pub pos: Vec<P>,
+    /// Propositions required false.
+    pub neg: Vec<P>,
+}
+
+impl<P> Guard<P> {
+    /// Evaluates the guard under a truth assignment.
+    pub fn eval(&self, assign: &impl Fn(&P) -> bool) -> bool {
+        self.pos.iter().all(|p| assign(p)) && self.neg.iter().all(|p| !assign(p))
+    }
+}
+
+/// A guard-labeled generalized Büchi automaton for an LTL formula.
+///
+/// A run over a word `w` is a sequence of states `a_0 a_1 …` with
+/// `a_{i+1} ∈ succ(a_i)`, `a_0` initial, `w, i ⊨ guard(a_i)` for all `i`,
+/// and every acceptance set visited infinitely often. The automaton accepts
+/// exactly the models of the formula.
+#[derive(Clone, Debug)]
+pub struct LtlAutomaton<P> {
+    /// Guard of each state.
+    pub guards: Vec<Guard<P>>,
+    /// Successor states of each state.
+    pub succ: Vec<Vec<usize>>,
+    /// Initial states.
+    pub inits: Vec<usize>,
+    /// Acceptance sets (one per Until subformula): `acc[i][s]`.
+    pub acc: Vec<Vec<bool>>,
+}
+
+/// Translates an LTL formula (any form; NNF is computed internally) into a
+/// guard-labeled generalized Büchi automaton, using the classic
+/// Gerth–Peled–Vardi–Wolper *expand* construction. GPVW produces automata
+/// close to minimal in practice, which matters downstream: the verifier
+/// multiplies this automaton into the control-trace automaton (Theorem 12).
+pub fn ltl_to_automaton<P: Clone + Eq + Hash + Ord>(formula: &Ltl<P>) -> LtlAutomaton<P> {
+    let nnf = formula.nnf();
+
+    // GPVW node. Formula sets are `Vec` with membership checks (Ltl<P>
+    // has no `Ord`); node merging uses interned-formula canonical keys.
+    #[derive(Clone)]
+    struct VNode<P> {
+        incoming: BTreeSet<usize>,
+        new: Vec<Ltl<P>>,
+        old: Vec<Ltl<P>>,
+        next: Vec<Ltl<P>>,
+    }
+    fn insert_unique<P: Clone + Eq>(v: &mut Vec<Ltl<P>>, f: &Ltl<P>) {
+        if !v.contains(f) {
+            v.push(f.clone());
+        }
+    }
+    /// Canonical form of a formula set for node merging: sorted by an
+    /// arbitrary-but-stable total order derived from a textual encoding.
+    fn canon<P: Clone + Eq + Hash>(v: &[Ltl<P>], enc: &mut impl FnMut(&Ltl<P>) -> u64) -> Vec<u64> {
+        let mut keys: Vec<u64> = v.iter().map(|f| enc(f)).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    // Interned formula ids for canonical keys.
+    let mut formula_ids: HashMap<Ltl<P>, u64> = HashMap::new();
+    let mut enc = move |f: &Ltl<P>| -> u64 {
+        let next = formula_ids.len() as u64;
+        *formula_ids.entry(f.clone()).or_insert(next)
+    };
+
+    let mut vnodes: Vec<VNode<P>> = Vec::new();
+    let mut vkeys: HashMap<(Vec<u64>, Vec<u64>), usize> = HashMap::new();
+    let mut stack: Vec<VNode<P>> = vec![VNode {
+        incoming: BTreeSet::from([usize::MAX]),
+        new: vec![nnf.clone()],
+        old: Vec::new(),
+        next: Vec::new(),
+    }];
+
+    while let Some(mut node) = stack.pop() {
+        match node.new.pop() {
+            None => {
+                // Node finished: merge with an existing (old, next) twin or
+                // register it and spawn its successor.
+                let key = (canon(&node.old, &mut enc), canon(&node.next, &mut enc));
+                if let Some(&id) = vkeys.get(&key) {
+                    let inc = node.incoming.clone();
+                    vnodes[id].incoming.extend(inc);
+                } else {
+                    let id = vnodes.len();
+                    vkeys.insert(key, id);
+                    vnodes.push(node.clone());
+                    stack.push(VNode {
+                        incoming: BTreeSet::from([id]),
+                        new: node.next.clone(),
+                        old: Vec::new(),
+                        next: Vec::new(),
+                    });
+                }
+            }
+            Some(f) => match &f {
+                Ltl::False => { /* discard node */ }
+                Ltl::True => {
+                    insert_unique(&mut node.old, &f);
+                    stack.push(node);
+                }
+                Ltl::Prop(_) => {
+                    // Contradiction with ¬p already in old?
+                    let negated = Ltl::Not(Box::new(f.clone()));
+                    if node.old.contains(&negated) {
+                        // discard
+                    } else {
+                        insert_unique(&mut node.old, &f);
+                        stack.push(node);
+                    }
+                }
+                Ltl::Not(inner) => {
+                    debug_assert!(matches!(**inner, Ltl::Prop(_)), "NNF");
+                    if node.old.contains(inner) {
+                        // discard (p and ¬p)
+                    } else {
+                        insert_unique(&mut node.old, &f);
+                        stack.push(node);
+                    }
+                }
+                Ltl::And(a, b) => {
+                    insert_unique(&mut node.old, &f);
+                    if !node.old.contains(a) {
+                        node.new.push((**a).clone());
+                    }
+                    if !node.old.contains(b) {
+                        node.new.push((**b).clone());
+                    }
+                    stack.push(node);
+                }
+                Ltl::Or(a, b) => {
+                    insert_unique(&mut node.old, &f);
+                    let mut left = node.clone();
+                    if !left.old.contains(a) {
+                        left.new.push((**a).clone());
+                    }
+                    let mut right = node;
+                    if !right.old.contains(b) {
+                        right.new.push((**b).clone());
+                    }
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Ltl::Next(a) => {
+                    insert_unique(&mut node.old, &f);
+                    insert_unique(&mut node.next, a);
+                    stack.push(node);
+                }
+                Ltl::Until(a, b) => {
+                    insert_unique(&mut node.old, &f);
+                    // gUh = h ∨ (g ∧ X(gUh))
+                    let mut left = node.clone();
+                    if !left.old.contains(a) {
+                        left.new.push((**a).clone());
+                    }
+                    insert_unique(&mut left.next, &f);
+                    let mut right = node;
+                    if !right.old.contains(b) {
+                        right.new.push((**b).clone());
+                    }
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Ltl::Release(a, b) => {
+                    insert_unique(&mut node.old, &f);
+                    // gRh = h ∧ (g ∨ X(gRh))
+                    let mut left = node.clone();
+                    if !left.old.contains(b) {
+                        left.new.push((**b).clone());
+                    }
+                    insert_unique(&mut left.next, &f);
+                    let mut right = node;
+                    if !right.old.contains(a) {
+                        right.new.push((**a).clone());
+                    }
+                    if !right.old.contains(b) {
+                        right.new.push((**b).clone());
+                    }
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Ltl::Finally(_) | Ltl::Globally(_) => unreachable!("NNF has no F/G"),
+            },
+        }
+    }
+
+    // Assemble the guard-labeled automaton.
+    let n = vnodes.len();
+    let mut guards = Vec::with_capacity(n);
+    for node in &vnodes {
+        let mut g = Guard {
+            pos: Vec::new(),
+            neg: Vec::new(),
+        };
+        for f in &node.old {
+            match f {
+                Ltl::Prop(p) => g.pos.push(p.clone()),
+                Ltl::Not(inner) => {
+                    if let Ltl::Prop(p) = &**inner {
+                        g.neg.push(p.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        g.pos.sort();
+        g.pos.dedup();
+        g.neg.sort();
+        g.neg.dedup();
+        guards.push(g);
+    }
+    let mut succ = vec![Vec::new(); n];
+    let mut inits = Vec::new();
+    for (id, node) in vnodes.iter().enumerate() {
+        for &src in &node.incoming {
+            if src == usize::MAX {
+                inits.push(id);
+            } else {
+                succ[src].push(id);
+            }
+        }
+    }
+    // Acceptance sets: one per Until subformula of the NNF.
+    let mut untils: Vec<(Ltl<P>, Ltl<P>)> = Vec::new();
+    fn collect_untils<P: Clone + Eq>(f: &Ltl<P>, out: &mut Vec<(Ltl<P>, Ltl<P>)>) {
+        match f {
+            Ltl::Until(a, b) => {
+                let pair = ((**a).clone(), (**b).clone());
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+                collect_untils(a, out);
+                collect_untils(b, out);
+            }
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Release(a, b) => {
+                collect_untils(a, out);
+                collect_untils(b, out);
+            }
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Finally(a) | Ltl::Globally(a) => {
+                collect_untils(a, out)
+            }
+            _ => {}
+        }
+    }
+    collect_untils(&nnf, &mut untils);
+    let acc: Vec<Vec<bool>> = untils
+        .iter()
+        .map(|(a, b)| {
+            let u = Ltl::Until(Box::new(a.clone()), Box::new(b.clone()));
+            vnodes
+                .iter()
+                .map(|node| !node.old.contains(&u) || node.old.contains(b))
+                .collect()
+        })
+        .collect();
+
+    LtlAutomaton {
+        guards,
+        succ,
+        inits,
+        acc,
+    }
+}
+
+
+impl<P: Clone + Eq + Hash + Ord + std::fmt::Debug> LtlAutomaton<P> {
+    /// Instantiates the automaton against a concrete alphabet: `labels(l, p)`
+    /// gives the truth of proposition `p` when the position carries letter
+    /// `l`. The result is an NBA over `L` accepting exactly the words whose
+    /// induced proposition sequences satisfy the formula.
+    pub fn instantiate<L: Clone + Eq + Hash + Ord + std::fmt::Debug>(
+        &self,
+        alphabet: &[L],
+        labels: impl Fn(&L, &P) -> bool,
+    ) -> Nba<L> {
+        // NGBA with guard evaluation folded into transitions: entering state
+        // `b` on letter `l` requires guard(b) to hold of `l`... but a guard
+        // speaks about the position of the *current* atom. With the standard
+        // convention (atom a_i at position i, guard checked against w[i]),
+        // we make NBA states = atoms, and the transition a --l--> b exists
+        // iff guard(a) holds of l and b ∈ succ(a). An extra pre-initial
+        // state dispatches into initial atoms.
+        let m = self.acc.len().max(1);
+        let n = self.guards.len();
+        // State encoding: 0 = pre-init; 1 + atom * m + counter.
+        let id = |atom: usize, cnt: usize| 1 + atom * m + cnt;
+        let mut nba = Nba::new(alphabet.to_vec(), 1 + n * m);
+        nba.set_init(0);
+        let guard_ok: Vec<Vec<bool>> = alphabet
+            .iter()
+            .map(|l| {
+                self.guards
+                    .iter()
+                    .map(|g| g.eval(&|p| labels(l, p)))
+                    .collect()
+            })
+            .collect();
+        let advance = |atom: usize, cnt: usize| -> usize {
+            if self.acc.is_empty() {
+                return 0;
+            }
+            if self.acc[cnt][atom] {
+                (cnt + 1) % m
+            } else {
+                cnt
+            }
+        };
+        for (li, l) in alphabet.iter().enumerate() {
+            // From pre-init: guess the initial atom a_0 whose guard holds of
+            // the first letter; the counter starts at 0.
+            for &a0 in &self.inits {
+                if guard_ok[li][a0] {
+                    nba.add_transition(0, l, id(a0, 0));
+                }
+            }
+            // From (a, cnt): move to a successor atom b whose guard holds of
+            // the next letter; the counter advances based on the *source*
+            // atom (standard counter degeneralization).
+            for a in 0..n {
+                for cnt in 0..m {
+                    let j = advance(a, cnt);
+                    for &b in &self.succ[a] {
+                        if guard_ok[li][b] {
+                            nba.add_transition(id(a, cnt), l, id(b, j));
+                        }
+                    }
+                }
+            }
+        }
+        // Accepting states: (a, 0) with a ∈ Acc_0 — visited infinitely often
+        // iff the counter cycles forever iff every set is visited infinitely
+        // often. With no Until formulas every state is accepting.
+        for a in 0..n {
+            for cnt in 0..m {
+                let accepting = if self.acc.is_empty() {
+                    true
+                } else {
+                    cnt == 0 && self.acc[0][a]
+                };
+                nba.set_accepting(id(a, cnt), accepting);
+            }
+        }
+        nba
+    }
+
+    /// Reference check on an ultimately periodic word of letters, using the
+    /// instantiated NBA.
+    pub fn accepts_lasso<L: Clone + Eq + Hash + Ord + std::fmt::Debug>(
+        &self,
+        word: &Lasso<L>,
+        labels: impl Fn(&L, &P) -> bool,
+    ) -> bool {
+        let mut alphabet: Vec<L> = word.prefix.iter().chain(word.cycle.iter()).cloned().collect();
+        alphabet.sort();
+        alphabet.dedup();
+        self.instantiate(&alphabet, labels).accepts_lasso(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Letters are sets of true propositions encoded as bitmasks over
+    /// {p=1, q=2}.
+    fn labels(l: &u8, p: &String) -> bool {
+        match p.as_str() {
+            "p" => l & 1 != 0,
+            "q" => l & 2 != 0,
+            _ => false,
+        }
+    }
+
+    fn check(formula: &str, word: &Lasso<u8>) -> bool {
+        let f = Ltl::parse(formula).unwrap();
+        let auto = ltl_to_automaton(&f);
+        auto.accepts_lasso(word, labels)
+    }
+
+    #[test]
+    fn globally_p() {
+        assert!(check("G p", &Lasso::periodic(vec![1])));
+        assert!(check("G p", &Lasso::periodic(vec![1, 3])));
+        assert!(!check("G p", &Lasso::periodic(vec![1, 2])));
+        assert!(!check("G p", &Lasso::new(vec![0], vec![1])));
+    }
+
+    #[test]
+    fn finally_q() {
+        assert!(check("F q", &Lasso::new(vec![0, 0, 2], vec![0])));
+        assert!(!check("F q", &Lasso::periodic(vec![0, 1])));
+    }
+
+    #[test]
+    fn until_formula() {
+        assert!(check("p U q", &Lasso::new(vec![1, 1, 2], vec![0])));
+        assert!(check("p U q", &Lasso::new(vec![2], vec![0])));
+        assert!(!check("p U q", &Lasso::new(vec![1, 0, 2], vec![0])));
+        assert!(!check("p U q", &Lasso::periodic(vec![1])));
+    }
+
+    #[test]
+    fn next_formula() {
+        assert!(check("X p", &Lasso::new(vec![0, 1], vec![0])));
+        assert!(!check("X p", &Lasso::new(vec![1, 0], vec![1])));
+        assert!(check("X X q", &Lasso::new(vec![0, 0], vec![2])));
+    }
+
+    #[test]
+    fn response_property() {
+        // G (p -> F q): every p followed eventually by q.
+        let good = Lasso::periodic(vec![1, 0, 2]);
+        assert!(check("G (p -> F q)", &good));
+        let bad = Lasso::new(vec![2, 1], vec![0]); // p at pos 1, no q after
+        assert!(!check("G (p -> F q)", &bad));
+    }
+
+    #[test]
+    fn release_formula() {
+        // false R p == G p
+        assert!(check("false R p", &Lasso::periodic(vec![1])));
+        assert!(!check("false R p", &Lasso::periodic(vec![1, 0])));
+        // q R p: p holds up to and including the first q.
+        assert!(check("q R p", &Lasso::new(vec![1, 1, 3], vec![0])));
+        assert!(!check("q R p", &Lasso::new(vec![1, 0, 3], vec![0])));
+    }
+
+    #[test]
+    fn negation_and_boolean() {
+        assert!(check("!p", &Lasso::periodic(vec![2])));
+        assert!(!check("!p", &Lasso::periodic(vec![1])));
+        assert!(check("p | q", &Lasso::periodic(vec![2])));
+        assert!(check("p & q", &Lasso::periodic(vec![3])));
+        assert!(!check("p & q", &Lasso::periodic(vec![1])));
+    }
+
+    #[test]
+    fn agreement_with_reference_semantics() {
+        // Cross-validate automaton vs eval_lasso on a batch of formulas and
+        // lassos.
+        let formulas = [
+            "G p", "F q", "p U q", "X p", "G (p -> F q)", "G F p", "F G q",
+            "p U (q U p)", "(G p) | (F q)",
+        ];
+        let words = [
+            Lasso::periodic(vec![0u8]),
+            Lasso::periodic(vec![1]),
+            Lasso::periodic(vec![2]),
+            Lasso::periodic(vec![3]),
+            Lasso::periodic(vec![1, 2]),
+            Lasso::new(vec![1, 1], vec![2, 0]),
+            Lasso::new(vec![0, 3], vec![1]),
+            Lasso::new(vec![2], vec![0, 1]),
+        ];
+        for fs in formulas {
+            let f = Ltl::parse(fs).unwrap();
+            let auto = ltl_to_automaton(&f);
+            for w in &words {
+                let by_auto = auto.accepts_lasso(w, labels);
+                let by_ref = f.eval_lasso(w.prefix.len(), w.cycle.len(), &|m, p| {
+                    labels(w.at(m), p)
+                });
+                assert_eq!(by_auto, by_ref, "formula {fs} on word {w}");
+            }
+        }
+    }
+}

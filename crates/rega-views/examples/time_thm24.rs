@@ -1,0 +1,12 @@
+//! Profiling helper: times the Theorem 24 construction on the ternary
+//! Example 23 and prints the selector sizes.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ra = rega_core::paper::example23_ternary();
+    let proj = rega_views::thm24::project_hiding_database(&ra, 1, &Default::default()).unwrap();
+    println!("construction: {:?}", t0.elapsed());
+    for (i, c) in proj.view.tuple_inequalities().iter().enumerate() {
+        println!("  constraint {i}: arity {}, selector {} states", c.arity(), c.selector.num_states());
+    }
+}

@@ -1,0 +1,343 @@
+//! Proposition 22: LR-bounded extended automata are projections of register
+//! automata — implemented as the *streaming enforcement engine* with the
+//! proof's `2M² + 1` register budget.
+//!
+//! The theorem's operational content: if the inequality obligations of an
+//! extended automaton `ℬ` admit vertex covers of size `≤ N` at every
+//! position (Definition 15), then a register automaton with `2M² + 1` extra
+//! registers (`M = N + 1`) can check all of `ℬ`'s global inequality
+//! constraints *in a streaming fashion*, holding at each moment only:
+//!
+//! * `R_a` slots — values of high-out-degree positions (degree `> M` in the
+//!   paper's graph `Ĝ_h`), kept until all their partners have passed; the
+//!   vertex-cover bound caps these at `M`;
+//! * `R_b` slots — for low-out-degree positions, the (guessed; here taken
+//!   from the trace being checked) values of their future partners, checked
+//!   `≠` at storage time and consumed on arrival; capped at `M²`.
+//!
+//! [`enforce_lasso`] replays this strategy over a concrete ultimately
+//! periodic run and reports the verdict together with the peak number of
+//! occupied slots — the experiment suite (E9) verifies the `2M² + 1` budget
+//! on LR-bounded automata and its violation on unbounded ones
+//! (Example 16's `𝒜′`).
+
+use rega_analysis::classes::ClassStructure;
+use rega_core::extended::ConstraintKind;
+use rega_core::run::LassoRun;
+use rega_core::{CoreError, ExtendedAutomaton};
+use rega_data::Value;
+use std::collections::BTreeMap;
+
+/// The report of a streaming enforcement replay.
+#[derive(Clone, Debug)]
+pub struct EnforcementReport {
+    /// Whether all inequality obligations were satisfied (must agree with
+    /// `ExtendedAutomaton::check_lasso_run`).
+    pub accepted: bool,
+    /// Peak number of simultaneously occupied value slots.
+    pub peak_slots: usize,
+    /// The register budget `2M² + 1` for the given `M`.
+    pub budget: usize,
+    /// Whether the replay stayed within the budget. On LR-bounded automata
+    /// with `M ≥ N + 1`, Proposition 22 guarantees this.
+    pub within_budget: bool,
+    /// Number of inequality obligations (normal-form edges) processed.
+    pub edges_checked: usize,
+}
+
+/// Replays the Proposition 22 strategy over a concrete lasso run.
+///
+/// `m_bound` is the paper's `M = N + 1` (`N` from the LR-boundedness
+/// check); `horizon` bounds the analyzed unfolding (obligations between
+/// positions `< horizon` are enforced; on an ultimately periodic run the
+/// obligation pattern repeats, so a few periods suffice to exhibit the peak
+/// memory).
+pub fn enforce_lasso(
+    ext: &ExtendedAutomaton,
+    run: &LassoRun,
+    m_bound: usize,
+    horizon: usize,
+) -> Result<EnforcementReport, CoreError> {
+    // The obligations come from the constraint structure of the control
+    // trace; compute them on the bounded unfolding.
+    let control = run.control_trace();
+    let s = ClassStructure::build(ext, &control, horizon)?;
+
+    // Normal-form edges: one representative (position, register) pair per
+    // ≠-related class pair (values within a class coincide on any valid
+    // run, so one check per pair suffices — the paper's normal form).
+    let mut edges: Vec<((usize, u16), (usize, u16))> = Vec::new();
+    for &(c1, c2) in &s.neq {
+        let m1 = &s.classes[c1].members;
+        let m2 = &s.classes[c2].members;
+        if m1.is_empty() || m2.is_empty() {
+            continue;
+        }
+        // Earliest anchor n from the earlier class, then the first member
+        // of the other class at or after n; orient source before target.
+        let (a, b) = if m1[0] <= m2[0] { (m1, m2) } else { (m2, m1) };
+        let n = a[0];
+        let m = match b.iter().find(|&&(p, _)| p >= n.0) {
+            Some(&p) => p,
+            None => continue,
+        };
+        edges.push((n, m));
+    }
+    edges.sort();
+    edges.dedup();
+
+    // Out-degree per source position-slot (the paper's deg(h) in Ĝ_h).
+    let mut out_deg: BTreeMap<(usize, u16), usize> = BTreeMap::new();
+    for &(src, _) in &edges {
+        *out_deg.entry(src).or_insert(0) += 1;
+    }
+    let mut by_source: BTreeMap<(usize, u16), Vec<(usize, u16)>> = BTreeMap::new();
+    for &(src, tgt) in &edges {
+        by_source.entry(src).or_default().push(tgt);
+    }
+
+    // Replay.
+    #[derive(Debug)]
+    enum Slot {
+        /// R_a: the source value, checked against each arriving partner.
+        Source {
+            src: (usize, u16),
+            value: Value,
+            remaining: usize,
+        },
+        /// R_b: a claimed partner value (already checked ≠ source).
+        Claim { value: Value, target: (usize, u16) },
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut peak = 0usize;
+    let mut accepted = true;
+    let value_at = |(p, r): (usize, u16)| run.config_at(p).regs[r as usize];
+
+    for pos in 0..horizon {
+        for reg in 0..s.k as u16 {
+            let here = (pos, reg);
+            let v_here = value_at(here);
+            // 1. Arriving obligations.
+            let mut i = 0;
+            while i < slots.len() {
+                let mut drop_slot = false;
+                match &mut slots[i] {
+                    Slot::Source {
+                        src,
+                        value,
+                        remaining,
+                    } => {
+                        if by_source[&*src].contains(&here) {
+                            if *value == v_here {
+                                accepted = false;
+                            }
+                            *remaining -= 1;
+                            if *remaining == 0 {
+                                drop_slot = true;
+                            }
+                        }
+                    }
+                    Slot::Claim { value, target } => {
+                        if *target == here {
+                            if *value != v_here {
+                                // The claim named a different value than the
+                                // actual one — impossible when claiming from
+                                // the trace itself; kept for safety.
+                                accepted = false;
+                            }
+                            drop_slot = true;
+                        }
+                    }
+                }
+                if drop_slot {
+                    slots.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 2. Departing obligations: this position-slot is a source.
+            if let Some(targets) = by_source.get(&here) {
+                let deg = out_deg[&here];
+                if deg > m_bound {
+                    // R_a strategy: store our value.
+                    slots.push(Slot::Source {
+                        src: here,
+                        value: v_here,
+                        remaining: deg,
+                    });
+                } else {
+                    // R_b strategy: claim the partners' future values,
+                    // checking ≠ now.
+                    for &tgt in targets {
+                        let v_tgt = value_at(tgt);
+                        if v_tgt == v_here {
+                            accepted = false;
+                        }
+                        slots.push(Slot::Claim {
+                            value: v_tgt,
+                            target: tgt,
+                        });
+                    }
+                }
+            }
+            peak = peak.max(slots.len());
+        }
+    }
+
+    let budget = 2 * m_bound * m_bound + 1;
+    Ok(EnforcementReport {
+        accepted: accepted && s.consistent,
+        peak_slots: peak,
+        budget,
+        within_budget: peak <= budget,
+        edges_checked: edges.len(),
+    })
+}
+
+/// Convenience: runs the LR-boundedness check first and replays with the
+/// derived `M = N + 1`.
+pub fn enforce_with_derived_bound(
+    ext: &ExtendedAutomaton,
+    run: &LassoRun,
+    horizon: usize,
+) -> Result<(EnforcementReport, bool), CoreError> {
+    let lr = rega_analysis::lr::is_lr_bounded(ext, &rega_analysis::lr::LrOptions::default())?;
+    let m = lr.bound + 1;
+    let report = enforce_lasso(ext, run, m, horizon)?;
+    Ok((report, lr.bounded))
+}
+
+/// Helper for the tests and experiments: whether the automaton has only
+/// inequality constraints (the Prop 22 setting after Prop 6).
+pub fn has_only_inequalities(ext: &ExtendedAutomaton) -> bool {
+    ext.constraints()
+        .iter()
+        .all(|c| c.kind == ConstraintKind::NotEqual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_core::paper;
+    use rega_core::run::Config;
+    use rega_core::StateId;
+    use rega_core::TransId;
+    use rega_data::{Database, Schema};
+
+    /// A valid lasso run of Example 16's 𝒜 (x1 ≠ y1): alternate two values.
+    fn alternating_run() -> LassoRun {
+        let q = StateId(0);
+        LassoRun::new(
+            vec![
+                Config::new(q, vec![Value(1)]),
+                Config::new(q, vec![Value(2)]),
+            ],
+            vec![TransId(0), TransId(0)],
+            0,
+        )
+    }
+
+    #[test]
+    fn lr_bounded_case_stays_within_budget() {
+        let ext = paper::example16_a();
+        let run = alternating_run();
+        let db = Database::new(Schema::empty());
+        assert!(ext.check_lasso_run(&db, &run).is_ok());
+        let (report, bounded) = enforce_with_derived_bound(&ext, &run, 12).unwrap();
+        assert!(bounded);
+        assert!(report.accepted);
+        assert!(
+            report.within_budget,
+            "peak {} must fit budget {}",
+            report.peak_slots, report.budget
+        );
+        assert!(report.edges_checked > 0);
+    }
+
+    #[test]
+    fn rejecting_run_detected() {
+        // Same automaton, but a constant run violating x1 ≠ y1.
+        let ext = paper::example16_a();
+        let q = StateId(0);
+        let run = LassoRun::new(
+            vec![Config::new(q, vec![Value(1)])],
+            vec![TransId(0)],
+            0,
+        );
+        let report = enforce_lasso(&ext, &run, 2, 8).unwrap();
+        assert!(!report.accepted, "x1 ≠ y1 violated by the constant run");
+    }
+
+    #[test]
+    fn unbounded_case_blows_past_any_fixed_budget() {
+        // Example 16's 𝒜′ starting in p: all-distinct. Peak slots grow with
+        // the horizon, so a fixed budget is eventually exceeded —
+        // exactly the dichotomy of Theorem 19. (The values of the replayed
+        // run are irrelevant for the *memory* accounting: obligations come
+        // from the control trace alone.)
+        let ext = paper::example16_a_prime();
+        let p = ext.ra().state_by_name("p").unwrap();
+        let t_pp = ext
+            .ra()
+            .outgoing(p)
+            .iter()
+            .copied()
+            .find(|&t| ext.ra().transition(t).to == p)
+            .unwrap();
+        let run = LassoRun::new(
+            vec![
+                Config::new(p, vec![Value(1)]),
+                Config::new(p, vec![Value(2)]),
+            ],
+            vec![t_pp, t_pp],
+            0,
+        );
+        let small = enforce_lasso(&ext, &run, 2, 8).unwrap();
+        let large = enforce_lasso(&ext, &run, 2, 32).unwrap();
+        assert!(
+            large.peak_slots > small.peak_slots,
+            "peak memory must grow with the horizon on non-LR-bounded input"
+        );
+        assert!(!large.within_budget, "2M²+1 cannot hold all-distinct");
+    }
+
+    #[test]
+    fn agreement_with_reference_monitor() {
+        // For a batch of candidate runs of Example 16's 𝒜, the enforcement
+        // verdict agrees with the exact checker.
+        let ext = paper::example16_a();
+        let db = Database::new(Schema::empty());
+        let q = StateId(0);
+        let candidates = vec![
+            LassoRun::new(
+                vec![
+                    Config::new(q, vec![Value(1)]),
+                    Config::new(q, vec![Value(2)]),
+                ],
+                vec![TransId(0), TransId(0)],
+                0,
+            ),
+            LassoRun::new(
+                vec![
+                    Config::new(q, vec![Value(1)]),
+                    Config::new(q, vec![Value(2)]),
+                    Config::new(q, vec![Value(3)]),
+                ],
+                vec![TransId(0), TransId(0), TransId(0)],
+                0,
+            ),
+        ];
+        for run in &candidates {
+            let reference = ext.check_lasso_run(&db, run).is_ok();
+            let report = enforce_lasso(&ext, run, 2, 12).unwrap();
+            assert_eq!(reference, report.accepted, "run {run}");
+        }
+    }
+
+    #[test]
+    fn only_inequalities_helper() {
+        assert!(has_only_inequalities(&paper::example7()));
+        assert!(!has_only_inequalities(&paper::example5()));
+    }
+}

@@ -1,0 +1,241 @@
+//! The reviewing-workflow register automata.
+
+use rega_core::{RegisterAutomaton, StateId};
+use rega_data::{Literal, RegIdx, Schema, SigmaType, Term};
+
+/// Register roles of the workflow automata. The abstract model uses the
+/// first three; the database model adds the topic register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Roles {
+    /// Register holding the paper id.
+    pub paper: RegIdx,
+    /// Register holding the author.
+    pub author: RegIdx,
+    /// Register holding the current reviewer (or the paper id as the
+    /// "unassigned" placeholder).
+    pub reviewer: RegIdx,
+    /// Register holding the paper's topic (database model only).
+    pub topic: Option<RegIdx>,
+}
+
+/// A built workflow: the automaton plus its named states and register
+/// roles.
+#[derive(Clone, Debug)]
+pub struct Workflow {
+    /// The register automaton.
+    pub automaton: RegisterAutomaton,
+    /// Register roles.
+    pub roles: Roles,
+    /// The `start` state (initial).
+    pub start: StateId,
+    /// The `submitted` state.
+    pub submitted: StateId,
+    /// The `under_review` state.
+    pub under_review: StateId,
+    /// The `revising` state.
+    pub revising: StateId,
+    /// The `accepted` state (Büchi).
+    pub accepted: StateId,
+}
+
+fn propagate(ty: &mut SigmaType, regs: &[u16]) {
+    for &r in regs {
+        ty.add(Literal::eq(Term::x(r), Term::y(r)));
+    }
+}
+
+/// The no-database reviewing workflow (Sections 4–5 setting): three
+/// registers `[paper, author, reviewer]`; the reviewer is chosen
+/// nondeterministically, distinct from the author, with the paper id
+/// doubling as the "unassigned" placeholder.
+pub fn abstract_model() -> Workflow {
+    let k = 3;
+    let mut a = RegisterAutomaton::new(k, Schema::empty());
+    let start = a.add_state("start");
+    let submitted = a.add_state("submitted");
+    let under_review = a.add_state("under_review");
+    let revising = a.add_state("revising");
+    let accepted = a.add_state("accepted");
+    a.set_initial(start);
+    a.set_accepting(accepted);
+
+    // start → submitted: choose paper and author; reviewer unassigned.
+    let mut t = SigmaType::empty(k);
+    t.add(Literal::eq(Term::y(2), Term::y(0)));
+    t.add(Literal::neq(Term::y(0), Term::y(1))); // a paper is not an author
+    a.add_transition(start, t, submitted).expect("valid");
+
+    // submitted → under_review: assign a reviewer ≠ author, ≠ placeholder.
+    let mut t = SigmaType::empty(k);
+    propagate(&mut t, &[0, 1]);
+    t.add(Literal::neq(Term::y(2), Term::y(1)));
+    t.add(Literal::neq(Term::y(2), Term::y(0)));
+    a.add_transition(submitted, t.clone(), under_review)
+        .expect("valid");
+    // revising → under_review: assign a (possibly new) reviewer.
+    a.add_transition(revising, t, under_review).expect("valid");
+
+    // under_review → under_review: the review round continues.
+    let mut t = SigmaType::empty(k);
+    propagate(&mut t, &[0, 1, 2]);
+    a.add_transition(under_review, t.clone(), under_review)
+        .expect("valid");
+    // under_review → accepted.
+    a.add_transition(under_review, t.clone(), accepted)
+        .expect("valid");
+    // accepted → accepted (terminal loop).
+    a.add_transition(accepted, t, accepted).expect("valid");
+
+    // under_review → revising: reviewer resigns/decision deferred.
+    let mut t = SigmaType::empty(k);
+    propagate(&mut t, &[0, 1]);
+    t.add(Literal::eq(Term::y(2), Term::y(0)));
+    a.add_transition(under_review, t, revising).expect("valid");
+
+    Workflow {
+        automaton: a,
+        roles: Roles {
+            paper: RegIdx(0),
+            author: RegIdx(1),
+            reviewer: RegIdx(2),
+            topic: None,
+        },
+        start,
+        submitted,
+        under_review,
+        revising,
+        accepted,
+    }
+}
+
+/// The database-backed reviewing workflow: four registers
+/// `[paper, author, reviewer, topic]` over the schema
+/// `Paper/1, Author/1, Reviewer/1, PaperTopic/2, Prefers/2`. Reviewers are
+/// assigned by topic preference, exactly as the introduction sketches.
+pub fn database_model() -> Workflow {
+    let schema = Schema::with(
+        &[
+            ("Paper", 1),
+            ("Author", 1),
+            ("Reviewer", 1),
+            ("PaperTopic", 2),
+            ("Prefers", 2),
+        ],
+        &[],
+    );
+    let paper = schema.relation("Paper").expect("declared");
+    let author = schema.relation("Author").expect("declared");
+    let reviewer = schema.relation("Reviewer").expect("declared");
+    let paper_topic = schema.relation("PaperTopic").expect("declared");
+    let prefers = schema.relation("Prefers").expect("declared");
+
+    let k = 4;
+    let mut a = RegisterAutomaton::new(k, schema);
+    let start = a.add_state("start");
+    let submitted = a.add_state("submitted");
+    let under_review = a.add_state("under_review");
+    let revising = a.add_state("revising");
+    let accepted = a.add_state("accepted");
+    a.set_initial(start);
+    a.set_accepting(accepted);
+
+    // start → submitted: a real paper and author; reviewer/topic unassigned.
+    let mut t = SigmaType::empty(k);
+    t.add(Literal::rel(paper, vec![Term::y(0)]));
+    t.add(Literal::rel(author, vec![Term::y(1)]));
+    t.add(Literal::eq(Term::y(2), Term::y(0)));
+    t.add(Literal::eq(Term::y(3), Term::y(0)));
+    a.add_transition(start, t, submitted).expect("valid");
+
+    // submitted/revising → under_review: assign by topic preference.
+    let mut t = SigmaType::empty(k);
+    propagate(&mut t, &[0, 1]);
+    t.add(Literal::rel(paper_topic, vec![Term::y(0), Term::y(3)]));
+    t.add(Literal::rel(prefers, vec![Term::y(2), Term::y(3)]));
+    t.add(Literal::rel(reviewer, vec![Term::y(2)]));
+    t.add(Literal::neq(Term::y(2), Term::y(1)));
+    a.add_transition(submitted, t.clone(), under_review)
+        .expect("valid");
+    a.add_transition(revising, t, under_review).expect("valid");
+
+    // under_review → under_review / accepted; accepted loop.
+    let mut t = SigmaType::empty(k);
+    propagate(&mut t, &[0, 1, 2, 3]);
+    a.add_transition(under_review, t.clone(), under_review)
+        .expect("valid");
+    a.add_transition(under_review, t.clone(), accepted)
+        .expect("valid");
+    a.add_transition(accepted, t, accepted).expect("valid");
+
+    // under_review → revising.
+    let mut t = SigmaType::empty(k);
+    propagate(&mut t, &[0, 1]);
+    t.add(Literal::eq(Term::y(2), Term::y(0)));
+    t.add(Literal::eq(Term::y(3), Term::y(0)));
+    a.add_transition(under_review, t, revising).expect("valid");
+
+    Workflow {
+        automaton: a,
+        roles: Roles {
+            paper: RegIdx(0),
+            author: RegIdx(1),
+            reviewer: RegIdx(2),
+            topic: Some(RegIdx(3)),
+        },
+        start,
+        submitted,
+        under_review,
+        revising,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_analysis::emptiness::{check_emptiness, EmptinessOptions};
+    use rega_core::ExtendedAutomaton;
+
+    #[test]
+    fn abstract_model_shape() {
+        let w = abstract_model();
+        assert_eq!(w.automaton.k(), 3);
+        assert_eq!(w.automaton.num_states(), 5);
+        assert!(w.automaton.has_no_database());
+        assert!(w.automaton.is_initial(w.start));
+        assert!(w.automaton.is_accepting(w.accepted));
+    }
+
+    #[test]
+    fn database_model_shape() {
+        let w = database_model();
+        assert_eq!(w.automaton.k(), 4);
+        assert_eq!(w.automaton.schema().num_relations(), 5);
+    }
+
+    #[test]
+    fn abstract_model_nonempty() {
+        let ext = ExtendedAutomaton::new(abstract_model().automaton);
+        let v = check_emptiness(&ext, &EmptinessOptions::default()).unwrap();
+        assert!(v.is_nonempty(), "the workflow has runs");
+    }
+
+    #[test]
+    fn database_model_nonempty_with_witness_database() {
+        let ext = ExtendedAutomaton::new(database_model().automaton);
+        let v = check_emptiness(&ext, &EmptinessOptions::default()).unwrap();
+        match v {
+            rega_analysis::EmptinessVerdict::NonEmpty(w) => {
+                // The witness database must contain at least a paper, an
+                // author, a reviewer and a matching topic edge pair.
+                let db = &w.database;
+                let schema = db.schema();
+                for rel in ["Paper", "Author", "Reviewer", "PaperTopic", "Prefers"] {
+                    let r = schema.relation(rel).unwrap();
+                    assert!(db.num_facts(r) > 0, "{rel} must be populated");
+                }
+            }
+            _ => panic!("workflow must have runs over some database"),
+        }
+    }
+}

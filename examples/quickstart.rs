@@ -1,0 +1,87 @@
+//! Quickstart: build a register automaton, run it, project it, verify it.
+//!
+//! ```sh
+//! cargo run -p rega-examples --example quickstart
+//! ```
+
+use rega_analysis::emptiness::{check_emptiness, EmptinessOptions};
+use rega_analysis::verify::{verify, VerifyOptions, VerifyResult};
+use rega_core::simulate::{self, SearchLimits};
+use rega_core::ExtendedAutomaton;
+use rega_data::{Database, Literal, Qf, QfTerm, Schema, SigmaType, Term, Value};
+use rega_logic::LtlFo;
+use rega_views::prop20::project_register_automaton;
+
+fn main() {
+    // A 2-register automaton: register 2 holds a session token that never
+    // changes; register 1 is a request id, fresh at every step.
+    let mut ra = rega_core::RegisterAutomaton::new(2, Schema::empty());
+    let serving = ra.add_state("serving");
+    ra.set_initial(serving);
+    ra.set_accepting(serving);
+    ra.add_transition(
+        serving,
+        SigmaType::new(
+            2,
+            [
+                Literal::eq(Term::x(1), Term::y(1)),  // token persists
+                Literal::neq(Term::x(0), Term::y(0)), // request id changes
+                Literal::neq(Term::x(0), Term::x(1)), // id ≠ token
+            ],
+        ),
+        serving,
+    )
+    .expect("valid transition");
+    println!("== the automaton ==\n{ra}");
+
+    // 1. Simulate run prefixes.
+    let ext = ExtendedAutomaton::new(ra.clone());
+    let db = Database::new(Schema::empty());
+    let pool: Vec<Value> = (1..=3).map(Value).collect();
+    let runs = simulate::enumerate_prefixes(&ext, &db, 4, &pool, SearchLimits::default());
+    println!("== {} run prefixes of length 4; one of them ==", runs.len());
+    if let Some(run) = runs.first() {
+        for (i, c) in run.configs.iter().enumerate() {
+            println!("  position {i}: request={}, token={}", c.regs[0], c.regs[1]);
+        }
+    }
+
+    // 2. Emptiness (Corollary 10): does the automaton have infinite runs?
+    let verdict = check_emptiness(&ext, &EmptinessOptions::default()).expect("decidable");
+    println!("== emptiness == non-empty: {}", verdict.is_nonempty());
+
+    // 3. Project away the token (Proposition 20): what does a user see who
+    // only observes the request ids?
+    let projection = project_register_automaton(&ra, 1).expect("no database");
+    println!(
+        "== request-id view == {} states, {} global constraints",
+        projection.view.ra().num_states(),
+        projection.view.constraints().len()
+    );
+
+    // 4. Verify (Theorem 12): the token never changes.
+    let phi = LtlFo::new(
+        "G token_stable",
+        [("token_stable", Qf::Eq(QfTerm::x(1), QfTerm::y(1)))],
+    )
+    .expect("well-formed sentence");
+    match verify(&ext, &phi, &VerifyOptions::default()).expect("decidable") {
+        VerifyResult::Holds => println!("== verification == G (x2 = y2) holds"),
+        VerifyResult::CounterExample(w) => {
+            println!("== verification == counterexample found: {}", w.prefix_run.configs.len())
+        }
+    }
+
+    // ... and a property that fails: the request id eventually stabilizes.
+    let phi = LtlFo::new(
+        "F (G id_stable)",
+        [("id_stable", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))],
+    )
+    .expect("well-formed sentence");
+    match verify(&ext, &phi, &VerifyOptions::default()).expect("decidable") {
+        VerifyResult::Holds => println!("unexpected: F G (x1 = y1) holds"),
+        VerifyResult::CounterExample(_) => {
+            println!("== verification == F G (x1 = y1) fails, as expected")
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The reproduction checklist: one test per claim of the paper, asserting
+//! the formal result end-to-end through the library's public API.
+//!
+//! Paper: *Projection Views of Register Automata*, Segoufin & Vianu,
+//! PODS 2020. Section/therorem anchors are noted on each test.
+
+use rega_analysis::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict};
+use rega_analysis::lr::{is_lr_bounded, LrOptions};
+use rega_analysis::verify::{verify, VerifyOptions};
+use rega_automata::Lasso;
+use rega_core::extended::ConstraintKind;
+use rega_core::simulate::{self, SearchLimits};
+use rega_core::transform::{complete, state_driven};
+use rega_core::{paper, ExtendedAutomaton, TransId};
+use rega_data::{Database, Qf, QfTerm, RegIdx, Schema, Value};
+use rega_logic::LtlFo;
+use rega_views::counterexamples;
+use rega_views::prop20::project_register_automaton;
+use rega_views::prop6::eliminate_global_equalities;
+use rega_views::thm24::{project_hiding_database, Thm24Options};
+
+fn limits() -> SearchLimits {
+    SearchLimits {
+        max_nodes: 2_000_000,
+        max_runs: 500_000,
+    }
+}
+
+/// §2 (Koutsos–Vianu, re-proved in Thm 9 stage 1): `Control(A) =
+/// SControl(A)` — every symbolic control trace is realized by a run over
+/// some finite database. Checked on Example 1 and Example 23 by turning
+/// enumerated symbolic lassos into witnesses.
+#[test]
+fn control_equals_scontrol() {
+    for (name, ra) in [
+        ("example1", paper::example1().0),
+        ("example23", paper::example23()),
+    ] {
+        let ext = ExtendedAutomaton::new(ra);
+        let nba = rega_core::symbolic::scontrol_nba(ext.ra()).unwrap();
+        let lassos = rega_automata::emptiness::enumerate_accepting_lassos(&nba, 8, 6);
+        assert!(!lassos.is_empty(), "{name} has symbolic traces");
+        for control in lassos {
+            let w = rega_analysis::emptiness::witness_for_lasso(
+                &ext,
+                &control,
+                &EmptinessOptions::default(),
+            )
+            .unwrap();
+            let w = w.unwrap_or_else(|| {
+                panic!("{name}: symbolic trace {control} must be realizable")
+            });
+            assert!(w.prefix_run.validate(ext.ra(), &w.database).is_ok());
+        }
+    }
+}
+
+/// §3, Example 4: no register automaton expresses `Π₁(Reg(A))` of
+/// Example 1 — executable core: the unconstrained candidate is refuted,
+/// and the probe traces separate.
+#[test]
+fn example4_projection_not_expressible_by_ra() {
+    let mut free = rega_core::RegisterAutomaton::new(1, Schema::empty());
+    let p1 = free.add_state("p1");
+    let p2 = free.add_state("p2");
+    free.set_initial(p1);
+    free.set_accepting(p1);
+    for (a, b) in [(p1, p2), (p2, p2), (p2, p1)] {
+        free.add_transition(a, rega_data::SigmaType::empty(1), b)
+            .unwrap();
+    }
+    let refuted = counterexamples::refute_view_candidate(
+        &ExtendedAutomaton::new(free),
+        4,
+        &[Value(1), Value(2)],
+        limits(),
+    )
+    .unwrap();
+    assert!(refuted);
+}
+
+/// §3, Example 5: the extended automaton with `e=₁₁ = p1 p2* p1` *does*
+/// express the projection.
+#[test]
+fn example5_extended_automaton_is_the_view() {
+    let candidate = paper::example5();
+    for len in 2..=4 {
+        assert!(!counterexamples::refute_view_candidate(
+            &candidate,
+            len,
+            &[Value(1), Value(2)],
+            limits()
+        )
+        .unwrap());
+    }
+}
+
+/// Proposition 6: equality constraints are eliminable with extra registers;
+/// the projection of the result reproduces the original traces.
+#[test]
+fn prop6_equality_elimination() {
+    let ext = paper::example5();
+    let r = eliminate_global_equalities(&ext).unwrap();
+    assert!(r
+        .automaton
+        .constraints()
+        .iter()
+        .all(|c| c.kind == ConstraintKind::NotEqual));
+    let db = Database::new(Schema::empty());
+    let pool = vec![Value(1), Value(2)];
+    for len in 1..=3 {
+        let want = simulate::projected_settled_traces(&ext, &db, len, 1, &pool, limits());
+        let got =
+            simulate::projected_settled_traces(&r.automaton, &db, len, 1, &pool, limits());
+        assert_eq!(want, got, "length {len}");
+    }
+}
+
+/// Example 7 / Example 17: the all-distinct extended automaton has runs
+/// (prefixes of every length) but no ultimately periodic ones, and is not
+/// LR-bounded — hence not a projection of any register automaton (Thm 19).
+#[test]
+fn example7_not_a_projection() {
+    let (prefix, has_lasso) = counterexamples::example7_separation(6, limits()).unwrap();
+    assert!(prefix.is_some());
+    assert!(!has_lasso);
+    let lr = is_lr_bounded(&paper::example7(), &LrOptions::default()).unwrap();
+    assert!(!lr.bounded);
+}
+
+/// Example 8: the state traces of extended automata need not be ω-regular —
+/// the longest `p`-block is bounded by the database size.
+#[test]
+fn example8_non_regular_state_traces() {
+    let b1 = counterexamples::example8_longest_p_block(1, limits());
+    let b2 = counterexamples::example8_longest_p_block(2, limits());
+    let b3 = counterexamples::example8_longest_p_block(3, limits());
+    assert_eq!((b1, b2, b3), (2, 3, 4), "block bound tracks |P|");
+}
+
+/// Corollary 10: emptiness is decidable — positive and negative instances.
+#[test]
+fn corollary10_emptiness() {
+    // Non-empty: Examples 1, 5, 7, 8, 23.
+    for (name, ext) in [
+        ("example1", ExtendedAutomaton::new(paper::example1().0)),
+        ("example5", paper::example5()),
+        ("example7", paper::example7()),
+        ("example8", paper::example8()),
+        ("example23", ExtendedAutomaton::new(paper::example23())),
+    ] {
+        let v = check_emptiness(&ext, &EmptinessOptions::default()).unwrap();
+        assert!(v.is_nonempty(), "{name} must be non-empty");
+    }
+    // Empty: contradictory constraints.
+    let mut ext = paper::example5();
+    ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "p1 p2* p1")
+        .unwrap();
+    assert!(!check_emptiness(&ext, &EmptinessOptions::default())
+        .unwrap()
+        .is_nonempty());
+}
+
+/// Theorem 12: LTL-FO verification is decidable; spot-check both verdicts
+/// on Example 1.
+#[test]
+fn theorem12_verification() {
+    let ext = ExtendedAutomaton::new(paper::example1().0);
+    let holds = LtlFo::new(
+        "G stable2",
+        [("stable2", Qf::Eq(QfTerm::x(1), QfTerm::y(1)))],
+    )
+    .unwrap();
+    assert!(verify(&ext, &holds, &VerifyOptions::default())
+        .unwrap()
+        .holds());
+    let fails = LtlFo::new(
+        "G stable1",
+        [("stable1", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))],
+    )
+    .unwrap();
+    assert!(!verify(&ext, &fails, &VerifyOptions::default())
+        .unwrap()
+        .holds());
+}
+
+/// Theorem 13 / Proposition 20: projections of register automata are
+/// expressible as (LR-bounded) extended automata — differential check plus
+/// LR-boundedness on Example 1.
+#[test]
+fn theorem13_projection_closure() {
+    let (ra, _) = paper::example1();
+    let proj = project_register_automaton(&ra, 1).unwrap();
+    let db = Database::new(Schema::empty());
+    let pool = vec![Value(1), Value(2)];
+    let original = ExtendedAutomaton::new(ra);
+    for len in 1..=4 {
+        let want = simulate::projected_settled_traces(&original, &db, len, 1, &pool, limits());
+        let got = simulate::projected_settled_traces(&proj.view, &db, len, 1, &pool, limits());
+        assert_eq!(want, got, "length {len}");
+    }
+    let lr = is_lr_bounded(&proj.view, &LrOptions::default()).unwrap();
+    assert!(lr.bounded, "Proposition 20: projections are LR-bounded");
+}
+
+/// Theorem 18: LR-boundedness is decidable — the paper's Example 16 pair.
+#[test]
+fn theorem18_lr_boundedness() {
+    assert!(is_lr_bounded(&paper::example16_a(), &LrOptions::default())
+        .unwrap()
+        .bounded);
+    assert!(!is_lr_bounded(&paper::example16_a_prime(), &LrOptions::default())
+        .unwrap()
+        .bounded);
+}
+
+/// Theorem 19 (via Prop 22's streaming engine): on an LR-bounded automaton
+/// the inequality obligations fit in `2M² + 1` slots; on Example 16's 𝒜′
+/// they cannot.
+#[test]
+fn theorem19_streaming_dichotomy() {
+    use rega_core::run::{Config, LassoRun};
+    use rega_core::StateId;
+    let bounded = paper::example16_a();
+    let run = LassoRun::new(
+        vec![
+            Config::new(StateId(0), vec![Value(1)]),
+            Config::new(StateId(0), vec![Value(2)]),
+        ],
+        vec![TransId(0), TransId(0)],
+        0,
+    );
+    let (report, is_bounded) =
+        rega_views::prop22::enforce_with_derived_bound(&bounded, &run, 16).unwrap();
+    assert!(is_bounded && report.within_budget && report.accepted);
+
+    let unbounded = paper::example16_a_prime();
+    let p = unbounded.ra().state_by_name("p").unwrap();
+    let t_pp = unbounded
+        .ra()
+        .outgoing(p)
+        .iter()
+        .copied()
+        .find(|&t| unbounded.ra().transition(t).to == p)
+        .unwrap();
+    let run = LassoRun::new(
+        vec![
+            Config::new(p, vec![Value(1)]),
+            Config::new(p, vec![Value(2)]),
+        ],
+        vec![t_pp, t_pp],
+        0,
+    );
+    let report = rega_views::prop22::enforce_lasso(&unbounded, &run, 2, 32).unwrap();
+    assert!(!report.within_budget);
+}
+
+/// Example 23: with a visible database, extended automata cannot express
+/// the projection — removing the only edge flips realizability while the
+/// candidate trace stays locally identical (the paper's argument).
+#[test]
+fn example23_database_projection_argument() {
+    let a = paper::example23();
+    let schema = a.schema().clone();
+    let e = schema.relation("E").unwrap();
+    let u = schema.relation("U").unwrap();
+    let mut db = Database::new(schema);
+    let (c, d0, d1) = (Value(100), Value(0), Value(1));
+    db.insert(e, vec![c, d0]).unwrap();
+    db.insert(u, vec![d0]).unwrap();
+    db.insert(u, vec![d1]).unwrap();
+    let ext = ExtendedAutomaton::new(a);
+    let probe = Lasso::periodic(vec![vec![d0], vec![d1]]);
+    let pool = vec![c, d0, d1];
+    // d0 d1 d0 d1 … is realizable over D…
+    let over_d = simulate::find_lasso_with_projection(&ext, &db, &probe, &pool, 10, limits())
+        .unwrap()
+        .is_some();
+    assert!(over_d);
+    // …but not over D′ = D without the edge.
+    db.remove(e, &[c, d0]);
+    let over_d_prime =
+        simulate::find_lasso_with_projection(&ext, &db, &probe, &pool, 10, limits())
+            .unwrap()
+            .is_some();
+    assert!(!over_d_prime, "no node points at the even positions");
+}
+
+/// Theorem 24: the database-hiding projection — the enhanced view covers
+/// the concrete-database traces and rejects the clash pattern.
+#[test]
+fn theorem24_database_hiding() {
+    let a = paper::example23();
+    let proj = project_hiding_database(&a, 1, &Thm24Options::default()).unwrap();
+    assert!(proj.view.ext().ra().has_no_database());
+    assert_eq!(proj.view.finiteness_constraints().len(), 1);
+    assert!(!proj.view.tuple_inequalities().is_empty());
+}
+
+/// The normal forms of §2 exist and preserve a run (Examples 2, 3).
+#[test]
+fn section2_normal_forms() {
+    let (a, _) = paper::example1();
+    let completed = complete(&a).unwrap();
+    assert!(completed.is_complete().unwrap());
+    let sd = state_driven(&completed);
+    assert!(sd.automaton.is_state_driven());
+    // The normalized automaton still has runs.
+    let v = check_emptiness(
+        &ExtendedAutomaton::new(sd.automaton),
+        &EmptinessOptions::default(),
+    )
+    .unwrap();
+    assert!(v.is_nonempty());
+}
+
+/// The workflow of §1 ties it together: model, emptiness, views.
+#[test]
+fn section1_workflow_views() {
+    let bundle = rega_workflow::views::with_views().unwrap();
+    let lr = is_lr_bounded(&bundle.author.view, &LrOptions::default()).unwrap();
+    assert!(lr.bounded);
+    let v = check_emptiness(
+        &ExtendedAutomaton::new(bundle.workflow.automaton),
+        &EmptinessOptions::default(),
+    )
+    .unwrap();
+    match v {
+        EmptinessVerdict::NonEmpty(w) => {
+            assert!(w.lasso_run.is_some(), "the workflow has periodic runs")
+        }
+        EmptinessVerdict::Empty => panic!("the workflow has runs"),
+    }
+}

@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: σ-types, regular expressions and automata, lassos, LTL
+//! translation, and the incremental constraint monitor against a
+//! brute-force oracle.
+
+use proptest::prelude::*;
+use rega_automata::{Dfa, Lasso, Nfa, Regex};
+use rega_core::extended::ConstraintKind;
+use rega_core::monitor::ConstraintMonitor;
+use rega_core::{ExtendedAutomaton, RegisterAutomaton, StateId};
+use rega_data::{Literal, RegIdx, Schema, SigmaType, Term, Value};
+use rega_logic::translate::ltl_to_automaton;
+use rega_logic::Ltl;
+
+// ---------- strategies ----------
+
+fn term_strategy(k: u16) -> impl Strategy<Value = Term> {
+    (0..k, prop::bool::ANY).prop_map(|(i, x)| if x { Term::x(i) } else { Term::y(i) })
+}
+
+fn literal_strategy(k: u16) -> impl Strategy<Value = Literal> {
+    (term_strategy(k), term_strategy(k), prop::bool::ANY)
+        .prop_map(|(s, t, eq)| if eq { Literal::eq(s, t) } else { Literal::neq(s, t) })
+}
+
+fn type_strategy(k: u16) -> impl Strategy<Value = SigmaType> {
+    prop::collection::vec(literal_strategy(k), 0..5)
+        .prop_map(move |lits| SigmaType::new(k, lits))
+}
+
+fn regex_strategy() -> impl Strategy<Value = Regex<u8>> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0u8..3).prop_map(Regex::Sym),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Alt),
+            inner.prop_map(|r| Regex::Star(Box::new(r))),
+        ]
+    })
+}
+
+fn ltl_strategy() -> impl Strategy<Value = Ltl<u8>> {
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        (0u8..2).prop_map(Ltl::Prop),
+    ];
+    leaf.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Ltl::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ltl::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ltl::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| Ltl::Next(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ltl::Until(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| Ltl::Finally(Box::new(f))),
+            inner.prop_map(|f| Ltl::Globally(Box::new(f))),
+        ]
+    })
+}
+
+// ---------- σ-types ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn saturation_is_idempotent(ty in type_strategy(3)) {
+        let schema = Schema::empty();
+        if let Ok(once) = ty.saturate(&schema) {
+            let twice = once.saturate(&schema).expect("saturation stays satisfiable");
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn saturation_preserves_satisfiability(ty in type_strategy(3)) {
+        let schema = Schema::empty();
+        let sat1 = ty.is_satisfiable(&schema);
+        match ty.saturate(&schema) {
+            Ok(s) => {
+                prop_assert!(sat1);
+                prop_assert!(s.is_satisfiable(&schema));
+            }
+            Err(_) => prop_assert!(!sat1),
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_satisfiability(ty in type_strategy(3)) {
+        let schema = Schema::empty();
+        if ty.is_satisfiable(&schema) {
+            let r = ty.restrict_registers(&schema, 2).expect("satisfiable");
+            prop_assert!(r.is_satisfiable(&schema));
+        }
+    }
+
+    #[test]
+    fn completions_are_complete_and_extend(ty in type_strategy(2)) {
+        let schema = Schema::empty();
+        if ty.is_satisfiable(&schema) {
+            let comps = ty.completions(&schema).expect("satisfiable");
+            prop_assert!(!comps.is_empty());
+            let base = ty.saturate(&schema).expect("satisfiable");
+            for c in comps {
+                prop_assert!(c.is_complete(&schema).expect("satisfiable"));
+                // every literal of the saturated base is retained
+                for lit in base.literals() {
+                    prop_assert!(c.contains(lit), "completion must extend the type");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_satisfiability_symmetric_shape(a in type_strategy(2), b in type_strategy(2)) {
+        let schema = Schema::empty();
+        if a.is_satisfiable(&schema) && b.is_satisfiable(&schema) {
+            // joint satisfiability implies each side satisfiable, and the
+            // empty type composes with everything.
+            let top = SigmaType::empty(2);
+            prop_assert!(top.jointly_satisfiable_with(&top, &schema));
+            let _ = a.jointly_satisfiable_with(&b, &schema); // no panic
+        }
+    }
+}
+
+// ---------- regular expressions and automata ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nfa_and_dfa_agree(r in regex_strategy(), words in prop::collection::vec(prop::collection::vec(0u8..3, 0..6), 1..8)) {
+        let nfa = Nfa::from_regex(&r);
+        let dfa = Dfa::from_regex(&r, &[0, 1, 2]);
+        for w in &words {
+            prop_assert_eq!(nfa.accepts(w), dfa.accepts(w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_language(r in regex_strategy(), words in prop::collection::vec(prop::collection::vec(0u8..3, 0..6), 1..8)) {
+        let dfa = Dfa::from_regex(&r, &[0, 1, 2]);
+        let min = dfa.minimize();
+        prop_assert!(min.num_states() <= dfa.num_states());
+        for w in &words {
+            prop_assert_eq!(dfa.accepts(w), min.accepts(w));
+        }
+    }
+
+    #[test]
+    fn complement_is_involution_on_words(r in regex_strategy(), w in prop::collection::vec(0u8..3, 0..6)) {
+        let dfa = Dfa::from_regex(&r, &[0, 1, 2]);
+        prop_assert_eq!(dfa.accepts(&w), !dfa.complement().accepts(&w));
+        prop_assert_eq!(dfa.accepts(&w), dfa.complement().complement().accepts(&w));
+    }
+
+    #[test]
+    fn lasso_transformations_preserve_word(
+        prefix in prop::collection::vec(0u8..3, 0..4),
+        cycle in prop::collection::vec(0u8..3, 1..4),
+        pump in 1usize..4,
+        extend in 0usize..4,
+    ) {
+        let l = Lasso::new(prefix, cycle);
+        prop_assert!(l.same_word(&l.pump_cycle(pump)));
+        prop_assert!(l.same_word(&l.extend_prefix(extend)));
+        prop_assert!(l.same_word(&l.canonicalize()));
+        // unroll agreement
+        let c = l.canonicalize();
+        prop_assert_eq!(l.unroll(12), c.unroll(12));
+    }
+}
+
+// ---------- LTL translation vs reference semantics ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ltl_automaton_matches_reference(
+        f in ltl_strategy(),
+        prefix in prop::collection::vec(0u8..4, 0..3),
+        cycle in prop::collection::vec(0u8..4, 1..3),
+    ) {
+        // letters are bitmasks over props {0, 1}
+        let word = Lasso::new(prefix, cycle);
+        let auto = ltl_to_automaton(&f);
+        let labels = |l: &u8, p: &u8| l & (1 << p) != 0;
+        let by_auto = auto.accepts_lasso(&word, labels);
+        let by_ref = f.eval_lasso(word.prefix.len(), word.cycle.len(), &|m, p| {
+            labels(word.at(m), p)
+        });
+        prop_assert_eq!(by_auto, by_ref, "formula {} on {}", f, word);
+    }
+}
+
+// ---------- monitor vs brute force ----------
+
+/// Brute-force oracle: check every factor of the run against every
+/// constraint DFA directly.
+fn brute_force_ok(ext: &ExtendedAutomaton, states: &[StateId], values: &[Value]) -> bool {
+    let len = states.len();
+    for c in ext.constraints() {
+        for n in 0..len {
+            let mut s = c.dfa().init();
+            for m in n..len {
+                s = c.dfa().step(s, &states[m]);
+                if c.dfa().is_accepting(s) {
+                    let (a, b) = (values[n], values[m]);
+                    let ok = match c.kind {
+                        ConstraintKind::Equal => a == b,
+                        ConstraintKind::NotEqual => a != b,
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn two_state_automaton() -> RegisterAutomaton {
+    let mut ra = RegisterAutomaton::new(1, Schema::empty());
+    let p = ra.add_state("p");
+    let q = ra.add_state("q");
+    ra.set_initial(p);
+    ra.set_accepting(p);
+    for (a, b) in [(p, p), (p, q), (q, p), (q, q)] {
+        ra.add_transition(a, SigmaType::empty(1), b).unwrap();
+    }
+    ra
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn monitor_agrees_with_brute_force(
+        kinds in prop::collection::vec(prop::bool::ANY, 1..3),
+        shapes in prop::collection::vec((0u32..2, 0u32..2, 0u32..2), 1..3),
+        state_bits in prop::collection::vec(prop::bool::ANY, 1..7),
+        value_ids in prop::collection::vec(0u64..3, 1..7),
+    ) {
+        prop_assume!(state_bits.len() == value_ids.len());
+        let ra = two_state_automaton();
+        let mut ext = ExtendedAutomaton::new(ra);
+        for (i, &(a, b, c)) in shapes.iter().enumerate() {
+            let kind = if kinds[i % kinds.len()] {
+                ConstraintKind::Equal
+            } else {
+                ConstraintKind::NotEqual
+            };
+            let regex = Regex::Concat(vec![
+                Regex::Sym(StateId(a)),
+                Regex::Star(Box::new(Regex::Sym(StateId(b)))),
+                Regex::Sym(StateId(c)),
+            ]);
+            ext.add_constraint(kind, RegIdx(0), RegIdx(0), regex).unwrap();
+        }
+        let states: Vec<StateId> = state_bits.iter().map(|&b| StateId(u32::from(b))).collect();
+        let values: Vec<Value> = value_ids.iter().map(|&v| Value(v)).collect();
+
+        let mut monitor = ConstraintMonitor::new(&ext);
+        let mut monitor_ok = true;
+        for (s, v) in states.iter().zip(values.iter()) {
+            if monitor.step(*s, &[*v]).is_some() {
+                monitor_ok = false;
+                break;
+            }
+        }
+        prop_assert_eq!(monitor_ok, brute_force_ok(&ext, &states, &values));
+    }
+}

@@ -1,0 +1,247 @@
+//! Randomized cross-crate tests of the decision procedures: emptiness
+//! witnesses re-validate, verification is coherent with emptiness, and the
+//! universal witness database of the chase supports its runs.
+
+use rega_analysis::chase::universal_witness_database;
+use rega_analysis::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict};
+use rega_analysis::verify::{verify, VerifyOptions};
+use rega_core::generate::{random_automaton, random_extended, GenParams};
+use rega_core::ExtendedAutomaton;
+use rega_data::{Qf, QfTerm};
+use rega_logic::LtlFo;
+
+fn params() -> GenParams {
+    GenParams {
+        states: 3,
+        k: 2,
+        out_degree: 2,
+        literals_per_type: 2,
+        unary_relations: 1,
+        relational_probability: 0.4,
+    }
+}
+
+#[test]
+fn emptiness_witnesses_validate() {
+    for seed in 0..15 {
+        let ext = ExtendedAutomaton::new(random_automaton(&params(), seed));
+        match check_emptiness(&ext, &EmptinessOptions::default()).unwrap() {
+            EmptinessVerdict::NonEmpty(w) => {
+                assert!(
+                    w.prefix_run.validate(ext.ra(), &w.database).is_ok(),
+                    "seed {seed}: prefix run must validate"
+                );
+                assert!(
+                    ext.check_finite_prefix(&w.database, &w.prefix_run).is_ok(),
+                    "seed {seed}: prefix run must satisfy the constraints"
+                );
+                if let Some(run) = &w.lasso_run {
+                    assert!(
+                        ext.check_lasso_run(&w.database, run).is_ok(),
+                        "seed {seed}: lasso run must check end-to-end"
+                    );
+                }
+            }
+            EmptinessVerdict::Empty => { /* fine: some generated automata are empty */ }
+        }
+    }
+}
+
+#[test]
+fn extended_emptiness_witnesses_validate() {
+    for seed in 0..10 {
+        let ext = random_extended(&params(), 2, seed);
+        if let EmptinessVerdict::NonEmpty(w) =
+            check_emptiness(&ext, &EmptinessOptions::default()).unwrap()
+        {
+            assert!(
+                ext.check_finite_prefix(&w.database, &w.prefix_run).is_ok(),
+                "seed {seed}"
+            );
+            if let Some(run) = &w.lasso_run {
+                assert!(ext.check_lasso_run(&w.database, run).is_ok(), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn universal_database_supports_all_witnesses() {
+    for seed in [1u64, 4, 9] {
+        let ext = ExtendedAutomaton::new(random_automaton(&params(), seed));
+        let u = universal_witness_database(&ext, &EmptinessOptions::default()).unwrap();
+        for w in &u.witnesses {
+            assert!(
+                w.prefix_run.validate(ext.ra(), &u.database).is_ok(),
+                "seed {seed}: combined database must support every witness"
+            );
+        }
+    }
+}
+
+#[test]
+fn verification_coherent_with_emptiness() {
+    // `G true` holds on every automaton; `F false` holds iff empty.
+    let tautology = LtlFo::new("G t", [("t", Qf::True)]).unwrap();
+    let absurdity = LtlFo::new("F f", [("f", Qf::False)]).unwrap();
+    for seed in 0..8 {
+        let ext = ExtendedAutomaton::new(random_automaton(&params(), seed));
+        let empty = !check_emptiness(&ext, &EmptinessOptions::default())
+            .unwrap()
+            .is_nonempty();
+        assert!(
+            verify(&ext, &tautology, &VerifyOptions::default())
+                .unwrap()
+                .holds(),
+            "seed {seed}: G true must hold"
+        );
+        let absurd_holds = verify(&ext, &absurdity, &VerifyOptions::default())
+            .unwrap()
+            .holds();
+        assert_eq!(
+            absurd_holds, empty,
+            "seed {seed}: F false holds iff the automaton is empty"
+        );
+    }
+}
+
+#[test]
+fn phi_and_not_phi_cannot_both_fail_on_deterministic_fact() {
+    // For a proposition decided identically at every position of every run
+    // (x1 = x1), both G p and its negation-counterpart behave coherently.
+    let always = LtlFo::new("G p", [("p", Qf::Eq(QfTerm::x(0), QfTerm::x(0)))]).unwrap();
+    let never = LtlFo::new("F q", [("q", Qf::neq(QfTerm::x(0), QfTerm::x(0)))]).unwrap();
+    for seed in 0..6 {
+        let ext = ExtendedAutomaton::new(random_automaton(&params(), seed));
+        let empty = !check_emptiness(&ext, &EmptinessOptions::default())
+            .unwrap()
+            .is_nonempty();
+        assert!(verify(&ext, &always, &VerifyOptions::default())
+            .unwrap()
+            .holds());
+        assert_eq!(
+            verify(&ext, &never, &VerifyOptions::default())
+                .unwrap()
+                .holds(),
+            empty
+        );
+    }
+}
+
+#[test]
+fn counterexamples_are_real_runs() {
+    // When verification fails, the returned witness is a genuine run of the
+    // product; its projection to the original registers is a run prefix of
+    // the original automaton.
+    let phi = LtlFo::new(
+        "G stable",
+        [("stable", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))],
+    )
+    .unwrap();
+    let mut found = 0;
+    for seed in 0..10 {
+        let ra = random_automaton(&params(), seed);
+        let k = ra.k() as usize;
+        let ext = ExtendedAutomaton::new(ra);
+        if let rega_analysis::VerifyResult::CounterExample(w) =
+            verify(&ext, &phi, &VerifyOptions::default()).unwrap()
+        {
+            found += 1;
+            // The counterexample changes register 1 somewhere.
+            assert!(w
+                .prefix_run
+                .configs
+                .windows(2)
+                .any(|p| p[0].regs[0] != p[1].regs[0]));
+            assert_eq!(w.prefix_run.configs[0].regs.len(), k);
+        }
+    }
+    assert!(found > 0, "some generated automaton must violate G (x1=y1)");
+}
+
+#[test]
+fn simulation_lassos_imply_nonemptiness() {
+    // Whenever the concrete simulator finds a lasso run over the empty
+    // database, the symbolic emptiness check must agree the automaton is
+    // non-empty (soundness cross-check between the two engines).
+    use rega_core::simulate::{self, SearchLimits};
+    use rega_data::{Database, Schema, Value};
+    let db = Database::new(Schema::empty());
+    let pool = vec![Value(1), Value(2)];
+    let free_params = GenParams {
+        unary_relations: 0,
+        relational_probability: 0.0,
+        ..params()
+    };
+    let mut agreed = 0;
+    for seed in 0..10 {
+        let ext = ExtendedAutomaton::new(random_automaton(&free_params, seed));
+        let found = simulate::find_lasso_run(
+            &ext,
+            &db,
+            5,
+            &pool,
+            SearchLimits {
+                max_nodes: 200_000,
+                max_runs: 1_000,
+            },
+        )
+        .unwrap();
+        if found.is_some() {
+            let v = check_emptiness(&ext, &EmptinessOptions::default()).unwrap();
+            assert!(
+                v.is_nonempty(),
+                "seed {seed}: simulator found a run but emptiness disagrees"
+            );
+            agreed += 1;
+        }
+    }
+    assert!(agreed > 0, "some generated automaton must have lasso runs");
+}
+
+#[test]
+fn emptiness_lasso_runs_admit_their_projection() {
+    // The lasso run of an emptiness witness, projected to register 1, must
+    // be re-admitted by the projected-trace membership search.
+    use rega_core::simulate::{self, SearchLimits};
+    for seed in 0..8 {
+        let free_params = GenParams {
+            unary_relations: 0,
+            relational_probability: 0.0,
+            ..params()
+        };
+        let ext = ExtendedAutomaton::new(random_automaton(&free_params, seed));
+        let EmptinessVerdict::NonEmpty(w) =
+            check_emptiness(&ext, &EmptinessOptions::default()).unwrap()
+        else {
+            continue;
+        };
+        let Some(run) = &w.lasso_run else { continue };
+        let probe = run.projected_register_trace(1);
+        let pool: Vec<rega_data::Value> = w.database.adom().into_iter().collect();
+        let mut pool = pool;
+        for c in &run.configs {
+            for &v in &c.regs {
+                if !pool.contains(&v) {
+                    pool.push(v);
+                }
+            }
+        }
+        let admitted = simulate::find_lasso_with_projection(
+            &ext,
+            &w.database,
+            &probe,
+            &pool,
+            run.configs.len() * 3 + 4,
+            SearchLimits {
+                max_nodes: 500_000,
+                max_runs: 1_000,
+            },
+        )
+        .unwrap();
+        assert!(
+            admitted.is_some(),
+            "seed {seed}: the witness's own projection must be admitted"
+        );
+    }
+}

@@ -67,7 +67,12 @@ pub fn universal_witness_database(
             .database
             .adom()
             .into_iter()
-            .chain(w.prefix_run.configs.iter().flat_map(|c| c.regs.iter().copied()))
+            .chain(
+                w.prefix_run
+                    .configs
+                    .iter()
+                    .flat_map(|c| c.regs.iter().copied()),
+            )
             .map(|v| (v, shift(v)))
             .collect();
         let shifted_db = w.database.rename(&map);

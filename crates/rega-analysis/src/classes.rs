@@ -14,9 +14,9 @@
 //! is eventually invariant under horizon growth; the stability rounds and
 //! the maximal horizon are configurable budgets).
 
-use rega_core::{CoreError, ExtendedAutomaton, TransId};
 use rega_automata::Lasso;
 use rega_core::extended::ConstraintKind;
+use rega_core::{CoreError, ExtendedAutomaton, TransId};
 use rega_data::Term;
 use std::collections::BTreeSet;
 
@@ -155,8 +155,7 @@ impl ClassStructure {
             let t = *w.at(n);
             let a = analyses[t.idx()].as_ref().expect("filled above");
             for class in a.classes() {
-                let nodes: Vec<usize> =
-                    class.iter().filter_map(|&tm| term_node(n, tm)).collect();
+                let nodes: Vec<usize> = class.iter().filter_map(|&tm| term_node(n, tm)).collect();
                 for pair in nodes.windows(2) {
                     union(&mut parent, pair[0], pair[1]);
                 }
@@ -189,7 +188,7 @@ impl ClassStructure {
         let mut root_class: Vec<usize> = vec![usize::MAX; n_nodes];
         let mut classes: Vec<ClassInfo> = Vec::new();
         let mut node_class = vec![0usize; n_nodes];
-        for x in 0..n_nodes {
+        for (x, xc) in node_class.iter_mut().enumerate() {
             let r = find(&mut parent, x);
             if root_class[r] == usize::MAX {
                 root_class[r] = classes.len();
@@ -200,7 +199,7 @@ impl ClassStructure {
                 });
             }
             let cid = root_class[r];
-            node_class[x] = cid;
+            *xc = cid;
             if x < horizon * k {
                 classes[cid].members.push((x / k, (x % k) as u16));
             } else {

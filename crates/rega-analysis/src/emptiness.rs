@@ -96,7 +96,8 @@ pub fn check_emptiness(
     opts: &EmptinessOptions,
 ) -> Result<EmptinessVerdict, CoreError> {
     let nba = scontrol_nba(ext.ra())?;
-    let lassos = nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
+    let lassos =
+        nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
     // The structure horizon must comfortably exceed the largest collapse
     // period: prefix + 2·t·period + slack.
     for control in lassos {
@@ -117,9 +118,7 @@ pub fn witness_for_lasso(
     // The structure horizon must comfortably exceed the largest collapse
     // period: prefix + 2·t·period + slack.
     let mut class_opts = opts.class_opts;
-    class_opts.initial_periods = class_opts
-        .initial_periods
-        .max(2 * opts.max_collapse + 3);
+    class_opts.initial_periods = class_opts.initial_periods.max(2 * opts.max_collapse + 3);
     let s = ClassStructure::build_stable(ext, control, class_opts)?;
     if !s.consistent {
         return Ok(None);
@@ -195,6 +194,9 @@ fn neq_respected(s: &ClassStructure, values: &[Value]) -> bool {
     s.neq.iter().all(|&(a, b)| values[a] != values[b])
 }
 
+/// A set of value-level relational facts.
+type FactSet = BTreeSet<(rega_data::RelSym, Vec<Value>)>;
+
 /// Collects the positive and negative relational facts (at value level)
 /// induced by the trace under the assignment. Returns `None` on a clash.
 fn collect_facts(
@@ -202,10 +204,7 @@ fn collect_facts(
     s: &ClassStructure,
     w: &Lasso<TransId>,
     values: &[Value],
-) -> Option<(
-    BTreeSet<(rega_data::RelSym, Vec<Value>)>,
-    BTreeSet<(rega_data::RelSym, Vec<Value>)>,
-)> {
+) -> Option<(FactSet, FactSet)> {
     let ra = ext.ra();
     let k = s.k;
     let mut pos = BTreeSet::new();
@@ -425,17 +424,10 @@ mod tests {
         let v = check_emptiness(&ext, &EmptinessOptions::default()).unwrap();
         match v {
             EmptinessVerdict::NonEmpty(w) => {
-                assert!(
-                    w.lasso_run.is_none(),
-                    "all-distinct admits no periodic run"
-                );
+                assert!(w.lasso_run.is_none(), "all-distinct admits no periodic run");
                 // The prefix run is valid and uses pairwise distinct values.
-                let vals: std::collections::HashSet<Value> = w
-                    .prefix_run
-                    .configs
-                    .iter()
-                    .map(|c| c.regs[0])
-                    .collect();
+                let vals: std::collections::HashSet<Value> =
+                    w.prefix_run.configs.iter().map(|c| c.regs[0]).collect();
                 assert_eq!(vals.len(), w.prefix_run.configs.len());
             }
             EmptinessVerdict::Empty => panic!("example 7 is non-empty"),

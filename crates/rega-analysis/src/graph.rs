@@ -57,9 +57,11 @@ impl Graph {
     /// the worst case; the graphs here are small and sparse.
     pub fn max_clique(&self) -> usize {
         let mut best = 0usize;
-        let p: HashSet<usize> = (0..self.len()).filter(|&v| !self.adj[v].is_empty()).collect();
+        let p: HashSet<usize> = (0..self.len())
+            .filter(|&v| !self.adj[v].is_empty())
+            .collect();
         if p.is_empty() {
-            return usize::from(self.len() > 0);
+            return usize::from(!self.is_empty());
         }
         self.bk(&mut Vec::new(), p, HashSet::new(), &mut best);
         best.max(1)
@@ -86,7 +88,11 @@ impl Graph {
             .copied()
             .max_by_key(|&u| self.adj[u].intersection(&p).count());
         let candidates: Vec<usize> = match pivot {
-            Some(u) => p.iter().copied().filter(|v| !self.adj[u].contains(v)).collect(),
+            Some(u) => p
+                .iter()
+                .copied()
+                .filter(|v| !self.adj[u].contains(v))
+                .collect(),
             None => p.iter().copied().collect(),
         };
         for v in candidates {

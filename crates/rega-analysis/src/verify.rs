@@ -141,8 +141,7 @@ pub fn verify(
     let n_sets = 1 + m;
     let ra = ext.ra();
     let mut product = RegisterAutomaton::new(ra.k(), schema.clone());
-    let mut index: std::collections::HashMap<(StateId, usize, usize), StateId> =
-        Default::default();
+    let mut index: std::collections::HashMap<(StateId, usize, usize), StateId> = Default::default();
     let mut states: Vec<(StateId, usize, usize)> = Vec::new();
     fn intern_state(
         ra: &RegisterAutomaton,
@@ -187,8 +186,7 @@ pub fn verify(
             }
             let tr = ra.transition(t);
             for &a2 in &auto.succ[a] {
-                let tid =
-                    intern_state(ra, &mut index, &mut states, &mut product, tr.to, a2, c2);
+                let tid = intern_state(ra, &mut index, &mut states, &mut product, tr.to, a2, c2);
                 product.add_transition(sid, tr.ty.clone(), tid)?;
             }
         }
@@ -243,10 +241,7 @@ mod tests {
             VerifyResult::CounterExample(w) => {
                 // The counterexample's prefix run changes register 1.
                 let r = &w.prefix_run;
-                assert!(r
-                    .configs
-                    .windows(2)
-                    .any(|p| p[0].regs[0] != p[1].regs[0]));
+                assert!(r.configs.windows(2).any(|p| p[0].regs[0] != p[1].regs[0]));
             }
             VerifyResult::Holds => panic!("G (x1 = y1) must fail on Example 1"),
         }

@@ -139,17 +139,14 @@ impl<L: Letter> Nba<L> {
         let mut index: HashMap<(usize, usize), usize> = HashMap::new();
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         let mut ngba = Ngba::new(self.alphabet.clone(), 0, 2);
-        let mut get = |a: usize,
-                       b: usize,
-                       ngba: &mut Ngba<L>,
-                       pairs: &mut Vec<(usize, usize)>|
-         -> usize {
-            *index.entry((a, b)).or_insert_with(|| {
-                let s = ngba.add_state();
-                pairs.push((a, b));
-                s
-            })
-        };
+        let mut get =
+            |a: usize, b: usize, ngba: &mut Ngba<L>, pairs: &mut Vec<(usize, usize)>| -> usize {
+                *index.entry((a, b)).or_insert_with(|| {
+                    let s = ngba.add_state();
+                    pairs.push((a, b));
+                    s
+                })
+            };
         let mut work = Vec::new();
         for &a in &self.inits {
             for &b in &other.inits {
@@ -197,8 +194,8 @@ impl<L: Letter> Nba<L> {
                 return false;
             };
             let mut next = vec![false; self.num_states()];
-            for s in 0..self.num_states() {
-                if cur[s] {
+            for (s, &live) in cur.iter().enumerate() {
+                if live {
                     for &t in &self.trans[s][li] {
                         next[t] = true;
                     }
@@ -286,11 +283,9 @@ impl<L: Letter> Nba<L> {
                                 break;
                             }
                         }
-                        let nontrivial = comp.len() > 1
-                            || comp.iter().any(|&v| succ(v).contains(&v));
-                        if nontrivial
-                            && comp.iter().any(|&v| self.accepting[v / c])
-                        {
+                        let nontrivial =
+                            comp.len() > 1 || comp.iter().any(|&v| succ(v).contains(&v));
+                        if nontrivial && comp.iter().any(|&v| self.accepting[v / c]) {
                             return true;
                         }
                     }

@@ -89,7 +89,7 @@ impl<L: Letter> Lasso<L> {
         let v = &self.cycle;
         let mut period = v.len();
         'outer: for d in 1..=v.len() / 2 {
-            if v.len() % d != 0 {
+            if !v.len().is_multiple_of(d) {
                 continue;
             }
             for i in d..v.len() {

@@ -271,7 +271,10 @@ impl<L: Letter> Regex<L> {
     ///
     /// Grammar: alternation `|`, postfix `*` `+` `?`, grouping `( )`,
     /// juxtaposition for concatenation. Example: `"p1 p2* p1"`.
-    pub fn parse(input: &str, resolve: impl Fn(&str) -> Option<L>) -> Result<Self, RegexParseError> {
+    pub fn parse(
+        input: &str,
+        resolve: impl Fn(&str) -> Option<L>,
+    ) -> Result<Self, RegexParseError> {
         let tokens = tokenize(input)?;
         let mut p = Parser {
             tokens: &tokens,

@@ -33,7 +33,7 @@ fn main() {
                 println!("e04: {name:<9} {:>8}", false)
             }
         }
-        c.bench_function(&format!("e04/{name}"), |b| {
+        c.bench_function(format!("e04/{name}"), |b| {
             b.iter(|| check_emptiness(black_box(&ext), &opts).unwrap())
         });
     }

@@ -20,7 +20,7 @@ fn main() {
     ] {
         let v = is_lr_bounded(&ext, &opts).unwrap();
         println!("e08:   {name}: bounded={} bound={}", v.bounded, v.bound);
-        c.bench_function(&format!("e08/{name}"), |b| {
+        c.bench_function(format!("e08/{name}"), |b| {
             b.iter(|| is_lr_bounded(black_box(&ext), &opts).unwrap())
         });
     }
@@ -35,9 +35,11 @@ fn main() {
             relational_probability: 0.0,
         };
         let ext = random_extended(&params, 2, 21);
-        c.bench_with_input(BenchmarkId::new("e08/random_states", states), &ext, |b, e| {
-            b.iter(|| is_lr_bounded(black_box(e), &opts).unwrap())
-        });
+        c.bench_with_input(
+            BenchmarkId::new("e08/random_states", states),
+            &ext,
+            |b, e| b.iter(|| is_lr_bounded(black_box(e), &opts).unwrap()),
+        );
     }
     c.final_summary();
 }

@@ -51,7 +51,10 @@ fn main() {
         let accepted = proj.view.check_lasso_run(&empty_db, &run, Some(10)).is_ok();
         println!("e10: alternating run accepted by the enhanced view: {accepted}");
         c.bench_function("e10/enhanced_check", |b| {
-            b.iter(|| proj.view.check_lasso_run(&empty_db, black_box(&run), Some(10)))
+            b.iter(|| {
+                proj.view
+                    .check_lasso_run(&empty_db, black_box(&run), Some(10))
+            })
         });
     }
     c.final_summary();

@@ -39,7 +39,7 @@ fn naive_check(ext: &ExtendedAutomaton, states: &[StateId], values: &[Value]) ->
 fn incremental_check(ext: &ExtendedAutomaton, states: &[StateId], values: &[Value]) -> bool {
     let mut monitor = ConstraintMonitor::new(ext);
     for (s, v) in states.iter().zip(values.iter()) {
-        if monitor.step(*s, &[*v]).is_some() {
+        if monitor.step(ext, *s, &[*v]).is_some() {
             return false;
         }
     }
@@ -80,5 +80,32 @@ fn main() {
             |b, (s, v)| b.iter(|| naive_check(black_box(&ext), s, v)),
         );
     }
+
+    // Guard for the per-step cost of `ConstraintMonitor::step` itself: one
+    // warm monitor driven over a long trace, reusing its buffers. The
+    // single-predecessor set moves mean steady-state steps should not
+    // allocate; a regression here shows up directly in the per-step time.
+    let len = 4096usize;
+    let mut states = Vec::with_capacity(len);
+    let mut values = Vec::with_capacity(len);
+    for i in 0..len {
+        if i % 3 == 0 {
+            states.push(p1);
+            values.push(Value(1));
+        } else {
+            states.push(p2);
+            values.push(Value(100 + i as u64));
+        }
+    }
+    c.bench_function("e12/monitor_step_warm", |b| {
+        b.iter(|| {
+            let mut monitor = ConstraintMonitor::new(&ext);
+            let mut ok = true;
+            for (s, v) in states.iter().zip(values.iter()) {
+                ok &= monitor.step(black_box(&ext), *s, &[*v]).is_none();
+            }
+            ok
+        })
+    });
     c.final_summary();
 }

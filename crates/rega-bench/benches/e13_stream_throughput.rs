@@ -1,0 +1,137 @@
+//! E13: streaming engine throughput on the reviewing workflow — events/sec
+//! as a function of shard count and worker count.
+//!
+//! Workload: many concurrent sessions of the abstract reviewing-workflow
+//! automaton (Section 5's running example), each a legal trace
+//! `start → submitted → (under_review … revising …)* → accepted`,
+//! interleaved round-robin into one stream. One iteration = submit the
+//! whole stream + clean shutdown, so the measured time covers queueing,
+//! demultiplexing, transition checking, and constraint monitoring.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_data::{Database, Schema, Value};
+use rega_stream::{CompiledSpec, Engine, EngineConfig, Event, SessionStatus};
+use rega_workflow::abstract_model;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SESSIONS: usize = 256;
+const REVIEW_ROUNDS: usize = 3;
+
+/// A legal event trace for one paper: ids are disjoint across sessions.
+fn session_events(id: usize) -> Vec<Event> {
+    let session = format!("paper-{id}");
+    let base = (id as u64) * 8;
+    let (p, a, r1, r2) = (base, base + 1, base + 2, base + 3);
+    let step = |state: &str, regs: [u64; 3]| Event::Step {
+        session: session.clone(),
+        state: state.to_string(),
+        regs: regs.iter().map(|&v| Value(v)).collect(),
+    };
+    let mut out = vec![step("start", [p, a, p]), step("submitted", [p, a, p])];
+    for round in 0..REVIEW_ROUNDS {
+        let reviewer = if round % 2 == 0 { r1 } else { r2 };
+        out.push(step("under_review", [p, a, reviewer]));
+        out.push(step("under_review", [p, a, reviewer]));
+        if round + 1 < REVIEW_ROUNDS {
+            out.push(step("revising", [p, a, p]));
+        }
+    }
+    out.push(step("accepted", [p, a, r1]));
+    out.push(Event::End { session });
+    out
+}
+
+/// The interleaved multi-session stream.
+fn build_stream() -> Vec<Event> {
+    let per_session: Vec<Vec<Event>> = (0..SESSIONS).map(session_events).collect();
+    let longest = per_session.iter().map(Vec::len).max().unwrap_or(0);
+    let mut stream = Vec::new();
+    for pos in 0..longest {
+        for events in &per_session {
+            if let Some(e) = events.get(pos) {
+                stream.push(e.clone());
+            }
+        }
+    }
+    stream
+}
+
+fn run_stream(spec: &Arc<CompiledSpec>, config: EngineConfig, stream: &[Event]) -> usize {
+    let engine = Engine::start(Arc::clone(spec), config);
+    for event in stream {
+        engine.submit(event.clone());
+    }
+    let report = engine.finish();
+    assert!(
+        report
+            .outcomes
+            .iter()
+            .all(|o| o.status == SessionStatus::Ended),
+        "the workload must be a legal trace for every session"
+    );
+    report.outcomes.len()
+}
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let workflow = abstract_model();
+    let ext = rega_core::ExtendedAutomaton::new(workflow.automaton.clone());
+    let db = Database::new(Schema::empty());
+    let spec = Arc::new(CompiledSpec::compile(ext, db, None).expect("compiles"));
+    let stream = build_stream();
+
+    println!(
+        "e13: streaming throughput, reviewing workflow, {} sessions, {} events/iteration",
+        SESSIONS,
+        stream.len()
+    );
+
+    let config = |shards: usize, workers: usize| EngineConfig {
+        shards,
+        workers,
+        queue_capacity: 1024,
+        max_view_frontier: 64,
+    };
+
+    // Sweep 1: workers at fixed shard count (8).
+    for workers in [1usize, 2, 4, 8] {
+        c.bench_with_input(
+            BenchmarkId::new("e13/workers@8shards", workers),
+            &workers,
+            |b, &w| b.iter(|| run_stream(black_box(&spec), config(8, w), &stream)),
+        );
+    }
+    // Sweep 2: shards with one worker per shard.
+    for shards in [1usize, 2, 4, 8] {
+        c.bench_with_input(
+            BenchmarkId::new("e13/shards=workers", shards),
+            &shards,
+            |b, &s| b.iter(|| run_stream(black_box(&spec), config(s, s), &stream)),
+        );
+    }
+
+    // Direct events/sec table (medians over a few full runs) for the
+    // EXPERIMENTS.md scaling claim.
+    println!("e13: events/sec (median of 5 runs)");
+    for (label, shards, workers) in [
+        ("1 worker / 8 shards", 8, 1),
+        ("2 workers / 8 shards", 8, 2),
+        ("4 workers / 8 shards", 8, 4),
+        ("8 workers / 8 shards", 8, 8),
+        ("1 shard / 1 worker", 1, 1),
+        ("4 shards / 4 workers", 4, 4),
+    ] {
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                run_stream(&spec, config(shards, workers), &stream);
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let eps = stream.len() as f64 / times[2];
+        println!("  {label:<24} {:>12.0} events/sec", eps);
+    }
+    c.final_summary();
+}

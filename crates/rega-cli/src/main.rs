@@ -8,6 +8,8 @@
 //! rega lr <spec>                    LR-boundedness (Theorem 18)
 //! rega dot <spec>                   Graphviz export
 //! rega echo <spec>                  parse and re-render the spec
+//! rega monitor <spec> --events <file.jsonl> [--shards N] [--workers N]
+//!                     [--view M]    stream multi-session monitoring
 //! ```
 //!
 //! Specs use the format of `rega_core::spec`. LTL-FO propositions are
@@ -27,7 +29,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rega empty <spec-file>\n  rega verify <spec-file> <ltl-skeleton> name=<qf> …\n  \
          rega project <spec-file> <m>\n  rega lr <spec-file>\n  rega dot <spec-file>\n  \
-         rega echo <spec-file>"
+         rega echo <spec-file>\n  \
+         rega monitor <spec-file> --events <file.jsonl|-> [--shards N] [--workers N] [--view M]"
     );
     ExitCode::from(2)
 }
@@ -40,10 +43,7 @@ fn load(path: &str) -> Result<ExtendedAutomaton, String> {
 /// Parses a proposition definition `name=<qf>` where `<qf>` is a
 /// comma-separated conjunction of literals in the spec syntax, re-using the
 /// spec literal parser through a scratch automaton.
-fn parse_prop(
-    def: &str,
-    ext: &ExtendedAutomaton,
-) -> Result<(String, rega_data::Qf), String> {
+fn parse_prop(def: &str, ext: &ExtendedAutomaton) -> Result<(String, rega_data::Qf), String> {
     let (name, body) = def
         .split_once('=')
         .ok_or_else(|| format!("proposition `{def}` must have the form name=<formula>"))?;
@@ -70,29 +70,20 @@ fn parse_prop(
     }
     scratch.push_str("state s init accept\n");
     scratch.push_str(&format!("trans s -> s : {}\n", body.trim()));
-    let parsed = parse_spec(&scratch)
-        .map_err(|e| format!("in proposition `{name}`: {}", e.message))?;
-    let ty = parsed
-        .ra()
-        .transition(rega_core::TransId(0))
-        .ty
-        .clone();
+    let parsed =
+        parse_spec(&scratch).map_err(|e| format!("in proposition `{name}`: {}", e.message))?;
+    let ty = parsed.ra().transition(rega_core::TransId(0)).ty.clone();
     let parts: Vec<rega_data::Qf> = ty
         .literals()
         .map(|l| match l {
-            rega_data::Literal::Eq(s, t) => {
-                rega_data::Qf::Eq(term_to_qf(*s), term_to_qf(*t))
-            }
-            rega_data::Literal::Neq(s, t) => {
-                rega_data::Qf::neq(term_to_qf(*s), term_to_qf(*t))
-            }
+            rega_data::Literal::Eq(s, t) => rega_data::Qf::Eq(term_to_qf(*s), term_to_qf(*t)),
+            rega_data::Literal::Neq(s, t) => rega_data::Qf::neq(term_to_qf(*s), term_to_qf(*t)),
             rega_data::Literal::Rel {
                 rel,
                 args,
                 positive,
             } => {
-                let atom =
-                    rega_data::Qf::Rel(*rel, args.iter().map(|a| term_to_qf(*a)).collect());
+                let atom = rega_data::Qf::Rel(*rel, args.iter().map(|a| term_to_qf(*a)).collect());
                 if *positive {
                     atom
                 } else {
@@ -123,9 +114,7 @@ fn run() -> Result<ExitCode, String> {
                 return Ok(usage());
             };
             let ext = load(path)?;
-            match check_emptiness(&ext, &EmptinessOptions::default())
-                .map_err(|e| e.to_string())?
-            {
+            match check_emptiness(&ext, &EmptinessOptions::default()).map_err(|e| e.to_string())? {
                 EmptinessVerdict::NonEmpty(w) => {
                     println!("non-empty");
                     println!("witness control trace: {}", w.control);
@@ -153,11 +142,8 @@ fn run() -> Result<ExitCode, String> {
             for def in &args[3..] {
                 props.push(parse_prop(def, &ext)?);
             }
-            let phi = LtlFo::new(
-                skeleton,
-                props.iter().map(|(n, q)| (n.as_str(), q.clone())),
-            )
-            .map_err(|e| e.to_string())?;
+            let phi = LtlFo::new(skeleton, props.iter().map(|(n, q)| (n.as_str(), q.clone())))
+                .map_err(|e| e.to_string())?;
             match verify(&ext, &phi, &VerifyOptions::default()).map_err(|e| e.to_string())? {
                 VerifyResult::Holds => {
                     println!("holds");
@@ -166,8 +152,7 @@ fn run() -> Result<ExitCode, String> {
                 VerifyResult::CounterExample(w) => {
                     println!("fails; counterexample prefix:");
                     for (i, c) in w.prefix_run.configs.iter().take(8).enumerate() {
-                        let vals: Vec<String> =
-                            c.regs.iter().map(|v| v.to_string()).collect();
+                        let vals: Vec<String> = c.regs.iter().map(|v| v.to_string()).collect();
                         println!("  position {i}: [{}]", vals.join(", "));
                     }
                     Ok(ExitCode::from(1))
@@ -180,8 +165,7 @@ fn run() -> Result<ExitCode, String> {
             };
             let ext = load(path)?;
             let m: u16 = m.parse().map_err(|_| "m must be a number".to_string())?;
-            let proj = rega_views::thm13::project_extended(&ext, m)
-                .map_err(|e| e.to_string())?;
+            let proj = rega_views::thm13::project_extended(&ext, m).map_err(|e| e.to_string())?;
             print!("{}", to_spec(&proj.view).map_err(|e| e.to_string())?);
             Ok(ExitCode::SUCCESS)
         }
@@ -218,7 +202,109 @@ fn run() -> Result<ExitCode, String> {
             print!("{}", to_spec(&ext).map_err(|e| e.to_string())?);
             Ok(ExitCode::SUCCESS)
         }
+        "monitor" => {
+            if args.len() < 2 {
+                return Ok(usage());
+            }
+            monitor(&args[1], &args[2..])
+        }
         _ => Ok(usage()),
+    }
+}
+
+/// `rega monitor`: stream a JSONL event file (or stdin with `-`) through
+/// the sharded engine and print a JSON report.
+fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
+    use rega_stream::{CompiledSpec, Engine, EngineConfig, SessionStatus};
+    use std::io::BufRead;
+
+    let mut config = EngineConfig::default();
+    let mut events_path: Option<String> = None;
+    let mut view_m: Option<u16> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--events" => events_path = Some(value("--events")?.clone()),
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a number".to_string())?;
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a number".to_string())?;
+            }
+            "--view" => {
+                view_m = Some(
+                    value("--view")?
+                        .parse()
+                        .map_err(|_| "--view must be a register count".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return Ok(usage());
+    };
+
+    let ext = load(spec_path)?;
+    let db = rega_data::Database::new(ext.ra().schema().clone());
+    let spec = CompiledSpec::compile(ext, db, view_m).map_err(|e| e.to_string())?;
+    let engine = Engine::start(std::sync::Arc::new(spec), config);
+
+    let reader: Box<dyn BufRead> = if events_path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        let file = std::fs::File::open(&events_path)
+            .map_err(|e| format!("cannot open {events_path}: {e}"))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+    let mut parse_errors: u64 = 0;
+    for (no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error in {events_path}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match rega_stream::parse_event(&line) {
+            Ok(event) => engine.submit(event),
+            Err(e) => {
+                parse_errors += 1;
+                eprintln!("line {}: {e}", no + 1);
+            }
+        }
+    }
+    let report = engine.finish();
+
+    let mut violations = Vec::new();
+    for outcome in report.violations() {
+        if let SessionStatus::Violated(kind) = &outcome.status {
+            violations.push(serde_json::json!({
+                "session": outcome.session.as_str(),
+                "reason": kind.to_string(),
+                "events": outcome.events,
+            }));
+        }
+    }
+    let violated = violations.len();
+    let summary = serde_json::json!({
+        "sessions": report.outcomes.len(),
+        "violations": serde_json::Value::Array(violations),
+        "parse_errors": parse_errors,
+        "metrics": report.metrics.snapshot(),
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    if violated > 0 || parse_errors > 0 {
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
 }
 

@@ -261,12 +261,7 @@ impl fmt::Display for RegisterAutomaton {
             writeln!(f, "  state {}{}", self.state_name(s), flags)?;
             for &t in self.outgoing(s) {
                 let tr = self.transition(t);
-                writeln!(
-                    f,
-                    "    --[{}]--> {}",
-                    tr.ty,
-                    self.state_name(tr.to)
-                )?;
+                writeln!(f, "    --[{}]--> {}", tr.ty, self.state_name(tr.to))?;
             }
         }
         Ok(())

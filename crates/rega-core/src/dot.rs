@@ -73,9 +73,7 @@ pub fn extended_to_dot(ext: &ExtendedAutomaton) -> String {
         }
         // Insert the legend before the closing brace.
         out.truncate(out.len() - 2);
-        out.push_str(&format!(
-            "  legend [shape=note, label=\"{legend}\"];\n}}\n"
-        ));
+        out.push_str(&format!("  legend [shape=note, label=\"{legend}\"];\n}}\n"));
     }
     out
 }

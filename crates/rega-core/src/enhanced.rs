@@ -57,7 +57,7 @@ impl PositionSelector {
         nba.set_init(0);
         nba.set_accepting(0, true);
         for li in 0..nba.alphabet().len() {
-            let letter = nba.alphabet()[li].clone();
+            let letter = nba.alphabet()[li];
             nba.add_transition(0, &letter, 0);
         }
         PositionSelector {
@@ -71,9 +71,9 @@ impl PositionSelector {
         let prefix = trace.unroll(m);
         // The suffix from m is again a lasso.
         let suffix = shift_lasso(trace, m);
-        self.components.iter().any(|(before, from_here)| {
-            before.accepts(&prefix) && from_here.accepts_lasso(&suffix)
-        })
+        self.components
+            .iter()
+            .any(|(before, from_here)| before.accepts(&prefix) && from_here.accepts_lasso(&suffix))
     }
 }
 
@@ -129,7 +129,12 @@ impl TupleInequality {
         debug_assert_eq!(alphas.len(), self.arity());
         debug_assert_eq!(betas.len(), self.arity());
         let l = self.arity();
-        let max_pos = alphas.iter().chain(betas.iter()).copied().max().unwrap_or(0);
+        let max_pos = alphas
+            .iter()
+            .chain(betas.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
         // Unroll past all marks and past the lasso's own prefix so the
         // remaining cycle is mark-free.
         let cut = (max_pos + 1).max(trace.prefix_len() + trace.period());
@@ -150,8 +155,7 @@ impl TupleInequality {
             }
             mask
         };
-        let prefix: Vec<(StateId, u32)> =
-            (0..cut).map(|m| (*trace.at(m), mark_at(m))).collect();
+        let prefix: Vec<(StateId, u32)> = (0..cut).map(|m| (*trace.at(m), mark_at(m))).collect();
         let cycle: Vec<(StateId, u32)> = (cut..cut + trace.period())
             .map(|m| (*trace.at(m), 0u32))
             .collect();
@@ -309,7 +313,7 @@ mod tests {
         nba.set_init(0);
         nba.set_accepting(0, true);
         for li in 0..nba.alphabet().len() {
-            let letter = nba.alphabet()[li].clone();
+            let letter = nba.alphabet()[li];
             nba.add_transition(0, &letter, 0);
         }
         PositionSelector {

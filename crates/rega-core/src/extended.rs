@@ -209,7 +209,7 @@ impl ExtendedAutomaton {
         let mut m = 0usize;
         loop {
             let cfg = run.config_at(m);
-            if let Some(violation) = monitor.step(cfg.state, &cfg.regs) {
+            if let Some(violation) = monitor.step(self, cfg.state, &cfg.regs) {
                 return Err(CoreError::InvalidRun(format!(
                     "global constraint {} violated at position {} (register {} vs {})",
                     violation.constraint, m, violation.i, violation.j,
@@ -236,7 +236,7 @@ impl ExtendedAutomaton {
         run.validate(&self.ra, db)?;
         let mut monitor = ConstraintMonitor::new(self);
         for (m, cfg) in run.configs.iter().enumerate() {
-            if let Some(v) = monitor.step(cfg.state, &cfg.regs) {
+            if let Some(v) = monitor.step(self, cfg.state, &cfg.regs) {
                 return Err(CoreError::InvalidRun(format!(
                     "global constraint {} violated at position {m}",
                     v.constraint

@@ -92,9 +92,15 @@ pub fn random_automaton(params: &GenParams, seed: u64) -> RegisterAutomaton {
                     break;
                 }
                 let lit = if rng.gen_bool(0.6) {
-                    Literal::eq(random_term(&mut rng, params.k), random_term(&mut rng, params.k))
+                    Literal::eq(
+                        random_term(&mut rng, params.k),
+                        random_term(&mut rng, params.k),
+                    )
                 } else {
-                    Literal::neq(random_term(&mut rng, params.k), random_term(&mut rng, params.k))
+                    Literal::neq(
+                        random_term(&mut rng, params.k),
+                        random_term(&mut rng, params.k),
+                    )
                 };
                 let candidate = ty.with(lit);
                 if candidate.is_satisfiable(&schema) {
@@ -126,11 +132,7 @@ pub fn random_automaton(params: &GenParams, seed: u64) -> RegisterAutomaton {
 
 /// Wraps a random automaton with random global constraints (over the full
 /// state alphabet, so every factor window of the given shapes applies).
-pub fn random_extended(
-    params: &GenParams,
-    n_constraints: usize,
-    seed: u64,
-) -> ExtendedAutomaton {
+pub fn random_extended(params: &GenParams, n_constraints: usize, seed: u64) -> ExtendedAutomaton {
     let ra = random_automaton(params, seed);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
     let states: Vec<_> = ra.states().collect();
@@ -239,9 +241,12 @@ mod tests {
         };
         let ra = random_automaton(&params, 3);
         assert_eq!(ra.schema().num_relations(), 2);
-        let uses_relation = ra
-            .transition_ids()
-            .any(|t| ra.transition(t).ty.literals().any(|l| matches!(l, Literal::Rel { .. })));
+        let uses_relation = ra.transition_ids().any(|t| {
+            ra.transition(t)
+                .ty
+                .literals()
+                .any(|l| matches!(l, Literal::Rel { .. }))
+        });
         assert!(uses_relation);
     }
 }

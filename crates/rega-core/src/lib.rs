@@ -22,9 +22,9 @@
 pub mod automaton;
 pub mod dot;
 pub mod enhanced;
-pub mod generate;
 pub mod error;
 pub mod extended;
+pub mod generate;
 pub mod monitor;
 pub mod paper;
 pub mod run;

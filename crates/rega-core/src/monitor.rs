@@ -12,11 +12,20 @@
 //! constraints all must equal it — which keeps the configuration finite
 //! whenever the run uses finitely many values (the key to exact checking of
 //! lasso runs).
+//!
+//! The monitor owns its state and borrows the automaton only per
+//! [`step`](ConstraintMonitor::step) call, so external drivers (the
+//! `rega-stream` engine) can keep thousands of session monitors hot against
+//! one shared compiled spec. Value sets live in dense per-DFA-state slots
+//! and are *moved* to their successor slot when it is empty (the common,
+//! single-predecessor case); the slot buffers are double-buffered and
+//! reused across steps, so a step allocates only when two runs genuinely
+//! merge or a fresh run spawns into an empty slot.
 
 use crate::automaton::StateId;
 use crate::extended::{ConstraintKind, ExtendedAutomaton};
 use rega_data::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// A reported constraint violation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,48 +38,85 @@ pub struct Violation {
     pub j: u16,
 }
 
+/// Dense per-constraint monitor configuration: slot `s` holds the stored
+/// source values of all active runs currently in DFA state `s`.
+type Slots = Vec<Option<BTreeSet<Value>>>;
+
 /// The monitor state for all constraints of an extended automaton.
+///
+/// The monitor is a pure state machine: it stores no reference to the
+/// automaton, which must be passed (unchanged between calls) to
+/// [`step`](Self::step). Stepping with a *different* automaton than the one
+/// given to [`new`](Self::new) is a logic error and may panic on
+/// out-of-range states.
 #[derive(Clone, Debug)]
-pub struct ConstraintMonitor<'a> {
-    ext: &'a ExtendedAutomaton,
+pub struct ConstraintMonitor {
     /// Per constraint: DFA state → set of stored source values.
-    active: Vec<BTreeMap<usize, BTreeSet<Value>>>,
+    active: Vec<Slots>,
+    /// Per constraint: spare buffer swapped with `active` on each step
+    /// (kept all-`None` between steps).
+    spare: Vec<Slots>,
 }
 
-impl<'a> ConstraintMonitor<'a> {
-    /// A fresh monitor (no positions consumed yet).
-    pub fn new(ext: &'a ExtendedAutomaton) -> Self {
+impl ConstraintMonitor {
+    /// A fresh monitor (no positions consumed yet) for the constraints of
+    /// `ext`.
+    pub fn new(ext: &ExtendedAutomaton) -> Self {
+        let sizes: Vec<usize> = ext
+            .constraints()
+            .iter()
+            .map(|c| c.dfa().num_states())
+            .collect();
         ConstraintMonitor {
-            active: vec![BTreeMap::new(); ext.constraints().len()],
-            ext,
+            active: sizes.iter().map(|&n| vec![None; n]).collect(),
+            spare: sizes.iter().map(|&n| vec![None; n]).collect(),
         }
     }
 
     /// Consumes one position of the run (its state and register values).
     /// Returns a violation if some constraint fires and fails.
-    pub fn step(&mut self, state: StateId, regs: &[Value]) -> Option<Violation> {
-        for (cid, constraint) in self.ext.constraints().iter().enumerate() {
+    ///
+    /// `ext` must be the automaton this monitor was created for.
+    pub fn step(
+        &mut self,
+        ext: &ExtendedAutomaton,
+        state: StateId,
+        regs: &[Value],
+    ) -> Option<Violation> {
+        for (cid, constraint) in ext.constraints().iter().enumerate() {
             let dfa = constraint.dfa();
-            let map = &mut self.active[cid];
-            // Advance existing runs.
-            let mut next: BTreeMap<usize, BTreeSet<Value>> = BTreeMap::new();
-            for (s, vals) in map.iter() {
-                let t = dfa.step(*s, &state);
-                if constraint.is_alive(t) {
-                    next.entry(t).or_default().extend(vals.iter().copied());
+            let letter = dfa
+                .letter_index(&state)
+                .expect("monitor stepped with a state outside the constraint alphabet");
+            let cur = &mut self.active[cid];
+            let next = &mut self.spare[cid];
+            // Advance existing runs, moving each value set into its
+            // successor slot (merging only when two runs collide).
+            for (s, src) in cur.iter_mut().enumerate() {
+                if let Some(vals) = src.take() {
+                    let t = dfa.step_idx(s, letter);
+                    if constraint.is_alive(t) {
+                        match &mut next[t] {
+                            slot @ None => *slot = Some(vals),
+                            Some(dst) => dst.extend(vals),
+                        }
+                    }
                 }
             }
             // Spawn the run whose factor starts here.
-            let s0 = dfa.step(dfa.init(), &state);
+            let s0 = dfa.step_idx(dfa.init(), letter);
             if constraint.is_alive(s0) {
-                next.entry(s0)
-                    .or_default()
+                next[s0]
+                    .get_or_insert_with(BTreeSet::new)
                     .insert(regs[constraint.i.idx()]);
             }
+            // `cur` is now all-`None`; it becomes the next step's spare.
+            std::mem::swap(cur, next);
             // Fire matches.
             let target = regs[constraint.j.idx()];
-            for (s, vals) in next.iter() {
-                if !dfa.is_accepting(*s) {
+            for (s, slot) in self.active[cid].iter().enumerate() {
+                let Some(vals) = slot else { continue };
+                if !dfa.is_accepting(s) {
                     continue;
                 }
                 let violated = match constraint.kind {
@@ -85,34 +131,43 @@ impl<'a> ConstraintMonitor<'a> {
                     });
                 }
             }
-            *map = next;
         }
         None
     }
 
     /// A canonical byte fingerprint of the configuration, used to detect
-    /// repetition when checking lasso runs.
+    /// repetition when checking lasso runs and to deduplicate observer
+    /// frontiers.
     pub fn fingerprint(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        for map in &self.active {
-            out.extend_from_slice(&(map.len() as u64).to_le_bytes());
-            for (s, vals) in map {
-                out.extend_from_slice(&(*s as u64).to_le_bytes());
+        self.fingerprint_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical fingerprint to `out` (allocation-reusing
+    /// variant for hot callers).
+    pub fn fingerprint_into(&self, out: &mut Vec<u8>) {
+        for slots in &self.active {
+            let live = slots.iter().filter(|s| s.is_some()).count();
+            out.extend_from_slice(&(live as u64).to_le_bytes());
+            for (s, slot) in slots.iter().enumerate() {
+                let Some(vals) = slot else { continue };
+                out.extend_from_slice(&(s as u64).to_le_bytes());
                 out.extend_from_slice(&(vals.len() as u64).to_le_bytes());
                 for v in vals {
                     out.extend_from_slice(&v.raw().to_le_bytes());
                 }
             }
         }
-        out
     }
 
     /// Total number of active (state, value) pairs — used by the streaming
-    /// ablation experiment E12.
+    /// ablation experiment E12 and the engine's memory accounting.
     pub fn active_size(&self) -> usize {
         self.active
             .iter()
-            .map(|m| m.values().map(|v| v.len()).sum::<usize>())
+            .flatten()
+            .map(|slot| slot.as_ref().map_or(0, BTreeSet::len))
             .sum()
     }
 }
@@ -142,13 +197,13 @@ mod tests {
         let ext = every_other_equal();
         let q = StateId(0);
         let mut m = ConstraintMonitor::new(&ext);
-        assert!(m.step(q, &[Value(1)]).is_none());
-        assert!(m.step(q, &[Value(2)]).is_none());
+        assert!(m.step(&ext, q, &[Value(1)]).is_none());
+        assert!(m.step(&ext, q, &[Value(2)]).is_none());
         // position 2 must equal position 0
-        assert!(m.step(q, &[Value(1)]).is_none());
+        assert!(m.step(&ext, q, &[Value(1)]).is_none());
         // position 3 must equal position 1: violate it
         assert_eq!(
-            m.step(q, &[Value(9)]),
+            m.step(&ext, q, &[Value(9)]),
             Some(Violation {
                 constraint: 0,
                 i: 0,
@@ -169,9 +224,9 @@ mod tests {
         ext.add_constraint_str(ConstraintKind::NotEqual, RegIdx(0), RegIdx(0), "q q")
             .unwrap();
         let mut m = ConstraintMonitor::new(&ext);
-        assert!(m.step(StateId(0), &[Value(1)]).is_none());
-        assert!(m.step(StateId(0), &[Value(2)]).is_none());
-        assert!(m.step(StateId(0), &[Value(2)]).is_some());
+        assert!(m.step(&ext, StateId(0), &[Value(1)]).is_none());
+        assert!(m.step(&ext, StateId(0), &[Value(2)]).is_none());
+        assert!(m.step(&ext, StateId(0), &[Value(2)]).is_some());
     }
 
     #[test]
@@ -181,7 +236,7 @@ mod tests {
         let mut m = ConstraintMonitor::new(&ext);
         let mut prints = Vec::new();
         for step in 0..8 {
-            m.step(q, &[Value(step % 2)]);
+            m.step(&ext, q, &[Value(step % 2)]);
             prints.push(m.fingerprint());
         }
         // After warm-up the configuration is 2-periodic.
@@ -207,8 +262,22 @@ mod tests {
         let mut m = ConstraintMonitor::new(&ext);
         // staying in q forever: all spawned runs die immediately after "q q"
         for v in 0..5 {
-            assert!(m.step(StateId(0), &[Value(v)]).is_none());
+            assert!(m.step(&ext, StateId(0), &[Value(v)]).is_none());
         }
         assert!(m.active_size() <= 1); // only the freshly spawned run lives
+    }
+
+    #[test]
+    fn spare_buffers_stay_clear_and_sets_move() {
+        // Long single-predecessor chains must not grow the configuration:
+        // the `q q q` equality constraint carries at most two live sets.
+        let ext = every_other_equal();
+        let q = StateId(0);
+        let mut m = ConstraintMonitor::new(&ext);
+        for v in 0..64 {
+            assert!(m.step(&ext, q, &[Value(v % 2)]).is_none());
+            assert!(m.spare.iter().flatten().all(Option::is_none));
+            assert!(m.active_size() <= 4, "configuration must stay bounded");
+        }
     }
 }

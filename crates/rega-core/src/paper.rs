@@ -123,8 +123,12 @@ pub fn example16_a() -> ExtendedAutomaton {
     let q = a.add_state("q");
     a.set_initial(q);
     a.set_accepting(q);
-    a.add_transition(q, SigmaType::new(1, [Literal::neq(Term::x(0), Term::y(0))]), q)
-        .expect("valid");
+    a.add_transition(
+        q,
+        SigmaType::new(1, [Literal::neq(Term::x(0), Term::y(0))]),
+        q,
+    )
+    .expect("valid");
     ExtendedAutomaton::new(a)
 }
 
@@ -203,7 +207,10 @@ pub fn example23_ternary() -> RegisterAutomaton {
     let mut delta = SigmaType::new(2, base.clone());
     delta.add(Literal::rel(e, vec![Term::x(0), Term::x(1), Term::y(0)]));
     let mut delta_prime = SigmaType::new(2, base);
-    delta_prime.add(Literal::not_rel(e, vec![Term::x(0), Term::x(1), Term::y(0)]));
+    delta_prime.add(Literal::not_rel(
+        e,
+        vec![Term::x(0), Term::x(1), Term::y(0)],
+    ));
     a.add_transition(p, delta, q).expect("valid");
     a.add_transition(q, delta_prime, p).expect("valid");
     a
@@ -340,20 +347,14 @@ mod tests {
         let t_qp = a.outgoing(q)[0];
         // d0 at even positions (E(c, d0) holds), d1 at odd (¬E(c, d1)).
         let run = LassoRun::new(
-            vec![
-                Config::new(p, vec![d0, c]),
-                Config::new(q, vec![d1, c]),
-            ],
+            vec![Config::new(p, vec![d0, c]), Config::new(q, vec![d1, c])],
             vec![t_pq, t_qp],
             0,
         );
         assert!(run.validate(&a, &db).is_ok());
         // Swapping the values breaks both relational literals.
         let bad = LassoRun::new(
-            vec![
-                Config::new(p, vec![d1, c]),
-                Config::new(q, vec![d0, c]),
-            ],
+            vec![Config::new(p, vec![d1, c]), Config::new(q, vec![d0, c])],
             vec![t_pq, t_qp],
             0,
         );

@@ -116,10 +116,7 @@ impl FiniteRun {
 
     /// The projection of the register trace to the first `m` registers.
     pub fn projected_register_trace(&self, m: usize) -> Vec<Vec<Value>> {
-        self.configs
-            .iter()
-            .map(|c| c.regs[..m].to_vec())
-            .collect()
+        self.configs.iter().map(|c| c.regs[..m].to_vec()).collect()
     }
 }
 
@@ -307,8 +304,12 @@ mod tests {
         let p = a.add_state("p");
         a.set_initial(p);
         a.set_accepting(p);
-        a.add_transition(p, SigmaType::new(1, [Literal::eq(Term::x(0), Term::y(0))]), p)
-            .unwrap();
+        a.add_transition(
+            p,
+            SigmaType::new(1, [Literal::eq(Term::x(0), Term::y(0))]),
+            p,
+        )
+        .unwrap();
         a
     }
 
@@ -339,11 +340,7 @@ mod tests {
         let a = const_automaton();
         let db = Database::new(Schema::empty());
         let p = a.state_by_name("p").unwrap();
-        let run = LassoRun::new(
-            vec![Config::new(p, vec![Value(5)])],
-            vec![TransId(0)],
-            0,
-        );
+        let run = LassoRun::new(vec![Config::new(p, vec![Value(5)])], vec![TransId(0)], 0);
         assert!(run.validate(&a, &db).is_ok());
         let rt = run.register_trace();
         assert_eq!(rt.at(0), &vec![Value(5)]);
@@ -422,11 +419,7 @@ mod tests {
     #[test]
     fn unroll_prefix() {
         let p = StateId(0);
-        let run = LassoRun::new(
-            vec![Config::new(p, vec![Value(7)])],
-            vec![TransId(0)],
-            0,
-        );
+        let run = LassoRun::new(vec![Config::new(p, vec![Value(7)])], vec![TransId(0)], 0);
         let fr = run.unroll(4);
         assert_eq!(fr.configs.len(), 4);
         assert_eq!(fr.trans.len(), 3);

@@ -75,7 +75,7 @@ pub fn successors(
         let mut forced: Vec<Option<Value>> = vec![None; k];
         let mut free_classes: Vec<Vec<usize>> = Vec::new(); // y registers per class
         let mut class_seen: std::collections::HashMap<usize, usize> = Default::default();
-        for yi in 0..k {
+        for (yi, forced_slot) in forced.iter_mut().enumerate() {
             let class = analysis.class_of(Term::y(yi as u16));
             let members = &analysis.classes()[class];
             let anchor = members.iter().find_map(|m| match m {
@@ -84,7 +84,7 @@ pub fn successors(
                 Term::Y(_) => None,
             });
             match anchor {
-                Some(v) => forced[yi] = Some(v),
+                Some(v) => *forced_slot = Some(v),
                 None => {
                     let slot = *class_seen.entry(class).or_insert_with(|| {
                         free_classes.push(Vec::new());
@@ -186,12 +186,20 @@ pub fn enumerate_prefixes(
     let mut nodes = 0usize;
     for init in initial_configs(ext, pool) {
         let mut monitor = ConstraintMonitor::new(ext);
-        if monitor.step(init.state, &init.regs).is_some() {
+        if monitor.step(ext, init.state, &init.regs).is_some() {
             continue;
         }
         let run = FiniteRun::start(init);
         dfs(
-            ext, db, pool, len, limits, &mut nodes, run, monitor, &mut results,
+            ext,
+            db,
+            pool,
+            len,
+            limits,
+            &mut nodes,
+            run,
+            monitor,
+            &mut results,
         );
         if results.len() >= limits.max_runs || nodes >= limits.max_nodes {
             break;
@@ -209,7 +217,7 @@ fn dfs(
     limits: SearchLimits,
     nodes: &mut usize,
     run: FiniteRun,
-    monitor: ConstraintMonitor<'_>,
+    monitor: ConstraintMonitor,
     results: &mut Vec<FiniteRun>,
 ) {
     if results.len() >= limits.max_runs || *nodes >= limits.max_nodes {
@@ -223,7 +231,7 @@ fn dfs(
     let cur = run.configs.last().expect("non-empty run");
     for (t, next) in successors(ext, db, cur, pool) {
         let mut m2 = monitor.clone();
-        if m2.step(next.state, &next.regs).is_some() {
+        if m2.step(ext, next.state, &next.regs).is_some() {
             continue;
         }
         let mut r2 = run.clone();

@@ -87,12 +87,7 @@ fn parse_term(tok: &str, k: u16, schema: &Schema, line: usize) -> Result<Term, S
 }
 
 /// Parses one literal: `s = t`, `s != t`, `R(a, b)`, `!R(a, b)`.
-fn parse_literal(
-    text: &str,
-    k: u16,
-    schema: &Schema,
-    line: usize,
-) -> Result<Literal, SpecError> {
+fn parse_literal(text: &str, k: u16, schema: &Schema, line: usize) -> Result<Literal, SpecError> {
     let text = text.trim();
     if let Some((lhs, rhs)) = text.split_once("!=") {
         let s = parse_term(lhs.trim(), k, schema, line)?;
@@ -226,9 +221,7 @@ pub fn parse_spec(input: &str) -> Result<ExtendedAutomaton, SpecError> {
                     match flag {
                         "init" => automaton.set_initial(id),
                         "accept" => automaton.set_accepting(id),
-                        other => {
-                            return Err(err(line_no, format!("unknown state flag `{other}`")))
-                        }
+                        other => return Err(err(line_no, format!("unknown state flag `{other}`"))),
                     }
                 }
             }
@@ -343,7 +336,11 @@ pub fn to_spec(ext: &ExtendedAutomaton) -> Result<String, CoreError> {
             .relations()
             .map(|r| format!("{}/{}", schema.relation_name(r), schema.arity(r)))
             .collect();
-        entries.extend(schema.constants().map(|c| format!("const {}", schema.constant_name(c))));
+        entries.extend(
+            schema
+                .constants()
+                .map(|c| format!("const {}", schema.constant_name(c))),
+        );
         let _ = writeln!(out, "schema {{ {} }}", entries.join(", "));
     }
     let _ = writeln!(out);
@@ -487,10 +484,7 @@ mod tests {
         assert_eq!(reparsed.ra().num_states(), ext.ra().num_states());
         assert_eq!(reparsed.ra().num_transitions(), ext.ra().num_transitions());
         for t in ext.ra().transition_ids() {
-            assert_eq!(
-                reparsed.ra().transition(t).ty,
-                ext.ra().transition(t).ty
-            );
+            assert_eq!(reparsed.ra().transition(t).ty, ext.ra().transition(t).ty);
         }
     }
 
@@ -510,7 +504,10 @@ mod tests {
 
     #[test]
     fn helpful_errors() {
-        assert!(parse_spec("state p").unwrap_err().message.contains("registers"));
+        assert!(parse_spec("state p")
+            .unwrap_err()
+            .message
+            .contains("registers"));
         let e = parse_spec("registers 1\nstate p init\ntrans p -> missing").unwrap_err();
         assert!(e.message.contains("unknown state"));
         assert_eq!(e.line, 3);
@@ -529,15 +526,15 @@ mod tests {
 
     #[test]
     fn unsatisfiable_type_rejected_with_line() {
-        let e = parse_spec("registers 1\nstate p init\ntrans p -> p : x1 = y1, x1 != y1")
-            .unwrap_err();
+        let e =
+            parse_spec("registers 1\nstate p init\ntrans p -> p : x1 = y1, x1 != y1").unwrap_err();
         assert_eq!(e.line, 3);
     }
 
     #[test]
     fn register_shaped_constant_rejected() {
-        let e = parse_spec("registers 1\nschema { const x1 }\nstate p init\ntrans p -> p")
-            .unwrap_err();
+        let e =
+            parse_spec("registers 1\nschema { const x1 }\nstate p init\ntrans p -> p").unwrap_err();
         assert!(e.message.contains("shadow"));
         assert_eq!(e.line, 2);
         // Non-register-shaped names are fine, including an `x` alone.

@@ -20,10 +20,7 @@ pub fn control_to_state(ra: &RegisterAutomaton, control: &Lasso<TransId>) -> Las
 /// trace: each state has a unique outgoing type, so the transition fired at
 /// position `n` is determined by `(q_n, q_{n+1})`. Returns `None` if some
 /// consecutive pair has no transition.
-pub fn state_to_control(
-    ra: &RegisterAutomaton,
-    states: &Lasso<StateId>,
-) -> Option<Lasso<TransId>> {
+pub fn state_to_control(ra: &RegisterAutomaton, states: &Lasso<StateId>) -> Option<Lasso<TransId>> {
     let n = states.prefix_len() + states.period();
     let find = |m: usize| -> Option<TransId> {
         let cur = *states.at(m);

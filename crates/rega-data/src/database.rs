@@ -24,7 +24,9 @@ impl Database {
     /// initially interpreted by pairwise-distinct default values; use
     /// [`Database::set_constant`] to re-interpret them.
     pub fn new(schema: Schema) -> Self {
-        let relations = (0..schema.num_relations()).map(|_| HashSet::new()).collect();
+        let relations = (0..schema.num_relations())
+            .map(|_| HashSet::new())
+            .collect();
         // Default constant interpretations: distinct large values, so that a
         // freshly created database is well-formed even before constants are
         // assigned explicitly.
@@ -111,7 +113,11 @@ impl Database {
         let relations = self
             .relations
             .iter()
-            .map(|rel| rel.iter().map(|fact| fact.iter().map(&f).collect()).collect())
+            .map(|rel| {
+                rel.iter()
+                    .map(|fact| fact.iter().map(&f).collect())
+                    .collect()
+            })
             .collect();
         let constants = self.constants.iter().map(&f).collect();
         Database {

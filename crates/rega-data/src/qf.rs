@@ -178,14 +178,10 @@ impl Qf {
     /// or if the type does not decide some atom.
     pub fn eval_under_type(&self, ty: &SigmaType, schema: &Schema) -> Result<bool, DataError> {
         let analysis = ty.analyze(schema)?;
-        self.eval_under_analysis(&analysis, schema)
+        self.eval_under_analysis(&analysis)
     }
 
-    fn eval_under_analysis(
-        &self,
-        a: &crate::types::TypeAnalysis,
-        schema: &Schema,
-    ) -> Result<bool, DataError> {
+    fn eval_under_analysis(&self, a: &crate::types::TypeAnalysis) -> Result<bool, DataError> {
         let to_term = |t: &QfTerm| -> Result<Term, DataError> {
             match t {
                 QfTerm::X(i) => Ok(Term::X(*i)),
@@ -223,10 +219,10 @@ impl Qf {
                     Err(DataError::Undetermined(format!("R{}(..)", rel.0)))
                 }
             }
-            Qf::Not(inner) => Ok(!inner.eval_under_analysis(a, schema)?),
+            Qf::Not(inner) => Ok(!inner.eval_under_analysis(a)?),
             Qf::And(parts) => {
                 for p in parts {
-                    if !p.eval_under_analysis(a, schema)? {
+                    if !p.eval_under_analysis(a)? {
                         return Ok(false);
                     }
                 }
@@ -234,7 +230,7 @@ impl Qf {
             }
             Qf::Or(parts) => {
                 for p in parts {
-                    if p.eval_under_analysis(a, schema)? {
+                    if p.eval_under_analysis(a)? {
                         return Ok(true);
                     }
                 }
@@ -318,9 +314,7 @@ impl Qf {
                     Some(())
                 }
                 Qf::Not(inner) => go(inner, out),
-                Qf::And(parts) | Qf::Or(parts) => {
-                    parts.iter().try_for_each(|p| go(p, out))
-                }
+                Qf::And(parts) | Qf::Or(parts) => parts.iter().try_for_each(|p| go(p, out)),
             }
         }
         let mut out = Vec::new();

@@ -183,10 +183,7 @@ impl SigmaType {
             .into_iter()
             .filter(|l| l.terms().into_iter().all(&keep))
             .collect();
-        Ok(SigmaType {
-            k: new_k,
-            literals,
-        })
+        Ok(SigmaType { k: new_k, literals })
     }
 
     /// `δ|m` — restriction to the first `m` registers (both `x` and `y`),
@@ -392,7 +389,7 @@ impl TypeAnalysis {
 
         // Union-find over the universe.
         let mut parent: Vec<usize> = (0..universe.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -137,9 +137,7 @@ impl<P: Clone> Ltl<P> {
             Ltl::Or(a, b) => Ltl::Or(Box::new(a.map_props(f)), Box::new(b.map_props(f))),
             Ltl::Next(a) => Ltl::Next(Box::new(a.map_props(f))),
             Ltl::Until(a, b) => Ltl::Until(Box::new(a.map_props(f)), Box::new(b.map_props(f))),
-            Ltl::Release(a, b) => {
-                Ltl::Release(Box::new(a.map_props(f)), Box::new(b.map_props(f)))
-            }
+            Ltl::Release(a, b) => Ltl::Release(Box::new(a.map_props(f)), Box::new(b.map_props(f))),
             Ltl::Finally(a) => Ltl::Finally(Box::new(a.map_props(f))),
             Ltl::Globally(a) => Ltl::Globally(Box::new(a.map_props(f))),
         }
@@ -149,7 +147,12 @@ impl<P: Clone> Ltl<P> {
     /// assignments (reference semantics, used by tests to validate the
     /// automaton translation). `assign(pos, prop)` gives the truth of a
     /// proposition at a position; `prefix + period` describe the lasso.
-    pub fn eval_lasso(&self, prefix: usize, period: usize, assign: &impl Fn(usize, &P) -> bool) -> bool {
+    pub fn eval_lasso(
+        &self,
+        prefix: usize,
+        period: usize,
+        assign: &impl Fn(usize, &P) -> bool,
+    ) -> bool {
         // Positions 0 .. prefix + period are pairwise distinct "time points";
         // position wraps from prefix+period-1 back to prefix.
         let horizon = prefix + period;
@@ -171,9 +174,7 @@ impl<P: Clone> Ltl<P> {
                 Ltl::And(a, b) => {
                     go(a, m, horizon, next, assign) && go(b, m, horizon, next, assign)
                 }
-                Ltl::Or(a, b) => {
-                    go(a, m, horizon, next, assign) || go(b, m, horizon, next, assign)
-                }
+                Ltl::Or(a, b) => go(a, m, horizon, next, assign) || go(b, m, horizon, next, assign),
                 Ltl::Next(a) => go(a, next(m), horizon, next, assign),
                 Ltl::Finally(a) => {
                     // positions reachable from m: m, next(m), ... (≤ horizon many)
@@ -525,7 +526,7 @@ mod tests {
     #[test]
     fn eval_lasso_g_and_f() {
         // word: p holds at even positions; lasso prefix 0, period 2.
-        let assign = |m: usize, p: &String| (p == "p") == (m % 2 == 0);
+        let assign = |m: usize, p: &String| (p == "p") == m.is_multiple_of(2);
         let gfp = Ltl::parse("G (F p)").unwrap();
         assert!(gfp.eval_lasso(0, 2, &assign));
         let gp = Ltl::parse("G p").unwrap();

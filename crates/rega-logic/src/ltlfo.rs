@@ -43,10 +43,8 @@ impl LtlFo {
         skeleton: &str,
         props: impl IntoIterator<Item = (&'a str, Qf)>,
     ) -> Result<LtlFo, LtlParseError> {
-        let named: BTreeMap<String, Qf> = props
-            .into_iter()
-            .map(|(n, q)| (n.to_string(), q))
-            .collect();
+        let named: BTreeMap<String, Qf> =
+            props.into_iter().map(|(n, q)| (n.to_string(), q)).collect();
         let parsed = Ltl::parse(skeleton)?;
         // Collect propositions in order of first appearance; fail on unknown.
         use std::cell::RefCell;
@@ -83,7 +81,11 @@ impl LtlFo {
 
     /// The number of global variables `z̄` used across all propositions.
     pub fn num_globals(&self) -> u16 {
-        self.props.iter().map(|q| q.num_globals()).max().unwrap_or(0)
+        self.props
+            .iter()
+            .map(|q| q.num_globals())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Validates every proposition against the schema and register counts.
@@ -164,21 +166,13 @@ mod tests {
 
     #[test]
     fn duplicate_prop_use_shares_index() {
-        let f = LtlFo::new(
-            "p & X p",
-            [("p", Qf::Eq(QfTerm::x(0), QfTerm::x(0)))],
-        )
-        .unwrap();
+        let f = LtlFo::new("p & X p", [("p", Qf::Eq(QfTerm::x(0), QfTerm::x(0)))]).unwrap();
         assert_eq!(f.props.len(), 1);
     }
 
     #[test]
     fn globals_counted_and_eliminated() {
-        let f = LtlFo::new(
-            "G p",
-            [("p", Qf::neq(QfTerm::x(0), QfTerm::z(1)))],
-        )
-        .unwrap();
+        let f = LtlFo::new("G p", [("p", Qf::neq(QfTerm::x(0), QfTerm::z(1)))]).unwrap();
         assert_eq!(f.num_globals(), 2);
         let g = f.eliminate_globals(3);
         assert_eq!(g.num_globals(), 0);

@@ -26,7 +26,7 @@ pub struct Guard<P> {
 impl<P> Guard<P> {
     /// Evaluates the guard under a truth assignment.
     pub fn eval(&self, assign: &impl Fn(&P) -> bool) -> bool {
-        self.pos.iter().all(|p| assign(p)) && self.neg.iter().all(|p| !assign(p))
+        self.pos.iter().all(assign) && self.neg.iter().all(|p| !assign(p))
     }
 }
 
@@ -73,7 +73,7 @@ pub fn ltl_to_automaton<P: Clone + Eq + Hash + Ord>(formula: &Ltl<P>) -> LtlAuto
     /// Canonical form of a formula set for node merging: sorted by an
     /// arbitrary-but-stable total order derived from a textual encoding.
     fn canon<P: Clone + Eq + Hash>(v: &[Ltl<P>], enc: &mut impl FnMut(&Ltl<P>) -> u64) -> Vec<u64> {
-        let mut keys: Vec<u64> = v.iter().map(|f| enc(f)).collect();
+        let mut keys: Vec<u64> = v.iter().map(&mut *enc).collect();
         keys.sort_unstable();
         keys
     }
@@ -284,7 +284,6 @@ pub fn ltl_to_automaton<P: Clone + Eq + Hash + Ord>(formula: &Ltl<P>) -> LtlAuto
     }
 }
 
-
 impl<P: Clone + Eq + Hash + Ord + std::fmt::Debug> LtlAutomaton<P> {
     /// Instantiates the automaton against a concrete alphabet: `labels(l, p)`
     /// gives the truth of proposition `p` when the position carries letter
@@ -372,7 +371,12 @@ impl<P: Clone + Eq + Hash + Ord + std::fmt::Debug> LtlAutomaton<P> {
         word: &Lasso<L>,
         labels: impl Fn(&L, &P) -> bool,
     ) -> bool {
-        let mut alphabet: Vec<L> = word.prefix.iter().chain(word.cycle.iter()).cloned().collect();
+        let mut alphabet: Vec<L> = word
+            .prefix
+            .iter()
+            .chain(word.cycle.iter())
+            .cloned()
+            .collect();
         alphabet.sort();
         alphabet.dedup();
         self.instantiate(&alphabet, labels).accepts_lasso(word)
@@ -385,6 +389,7 @@ mod tests {
 
     /// Letters are sets of true propositions encoded as bitmasks over
     /// {p=1, q=2}.
+    #[allow(clippy::ptr_arg)] // must match `Fn(&L, &P)` with `P = String`
     fn labels(l: &u8, p: &String) -> bool {
         match p.as_str() {
             "p" => l & 1 != 0,
@@ -461,8 +466,15 @@ mod tests {
         // Cross-validate automaton vs eval_lasso on a batch of formulas and
         // lassos.
         let formulas = [
-            "G p", "F q", "p U q", "X p", "G (p -> F q)", "G F p", "F G q",
-            "p U (q U p)", "(G p) | (F q)",
+            "G p",
+            "F q",
+            "p U q",
+            "X p",
+            "G (p -> F q)",
+            "G F p",
+            "F G q",
+            "p U (q U p)",
+            "(G p) | (F q)",
         ];
         let words = [
             Lasso::periodic(vec![0u8]),
@@ -479,9 +491,8 @@ mod tests {
             let auto = ltl_to_automaton(&f);
             for w in &words {
                 let by_auto = auto.accepts_lasso(w, labels);
-                let by_ref = f.eval_lasso(w.prefix.len(), w.cycle.len(), &|m, p| {
-                    labels(w.at(m), p)
-                });
+                let by_ref =
+                    f.eval_lasso(w.prefix.len(), w.cycle.len(), &|m, p| labels(w.at(m), p));
                 assert_eq!(by_auto, by_ref, "formula {fs} on word {w}");
             }
         }

@@ -1,0 +1,350 @@
+//! The sharded worker-pool engine.
+//!
+//! Topology: sessions are hashed onto `shards` shards; each shard has one
+//! bounded [`mpsc::sync_channel`] queue and is consumed by exactly *one*
+//! worker thread, so events of one session are always processed in
+//! submission order. With fewer workers than shards, worker `w` owns
+//! shards `w, w + workers, w + 2·workers, …` and polls them round-robin.
+//!
+//! Flow control: [`Engine::submit`] blocks when the target shard's queue
+//! is full (producer back-pressure) rather than buffering unboundedly.
+//! Shutdown: [`Engine::finish`] drops the senders; each worker drains its
+//! queues until they disconnect, then reports its shard states.
+
+use crate::event::Event;
+use crate::metrics::EngineMetrics;
+use crate::session::{Session, SessionStatus};
+use crate::spec::CompiledSpec;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of shards (session partitions). At least 1.
+    pub shards: usize,
+    /// Number of worker threads. Clamped to `shards` (extra workers would
+    /// own no shard).
+    pub workers: usize,
+    /// Bounded capacity of each shard queue; a full queue blocks
+    /// [`Engine::submit`].
+    pub queue_capacity: usize,
+    /// Frontier bound for per-session view observers.
+    pub max_view_frontier: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 8,
+            workers: 4,
+            queue_capacity: 1024,
+            max_view_frontier: 256,
+        }
+    }
+}
+
+/// The final state of one session, reported at shutdown.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// Session identifier.
+    pub session: String,
+    /// Final lifecycle status. `Active` means the stream ended without a
+    /// terminal event for this session.
+    pub status: SessionStatus,
+    /// Events consumed by the session.
+    pub events: u64,
+    /// Whether the session's view observer ever degraded to three-valued
+    /// answers (frontier overflow).
+    pub view_degraded: bool,
+}
+
+/// Everything the engine knows after a clean shutdown.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// All sessions ever seen, sorted by session id.
+    pub outcomes: Vec<SessionOutcome>,
+    /// The shared metrics (final values).
+    pub metrics: Arc<EngineMetrics>,
+}
+
+impl EngineReport {
+    /// The outcomes that ended in violation, sorted by session id.
+    pub fn violations(&self) -> impl Iterator<Item = &SessionOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, SessionStatus::Violated(_)))
+    }
+}
+
+/// An envelope carrying the submit timestamp for queue-latency accounting.
+struct Envelope {
+    event: Event,
+    submitted: Instant,
+}
+
+/// A running engine. Created with [`Engine::start`], fed with
+/// [`Engine::submit`], torn down with [`Engine::finish`].
+pub struct Engine {
+    senders: Vec<SyncSender<Envelope>>,
+    workers: Vec<JoinHandle<Vec<SessionOutcome>>>,
+    metrics: Arc<EngineMetrics>,
+    shards: usize,
+}
+
+impl Engine {
+    /// Spawns the worker pool against a compiled spec.
+    pub fn start(spec: Arc<CompiledSpec>, config: EngineConfig) -> Engine {
+        let shards = config.shards.max(1);
+        let workers = config.workers.max(1).min(shards);
+        let metrics = Arc::new(EngineMetrics::default());
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel(config.queue_capacity.max(1));
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            // Worker w owns shards w, w+workers, w+2·workers, …
+            let owned: Vec<Receiver<Envelope>> = (w..shards)
+                .step_by(workers)
+                .map(|i| receivers[i].take().expect("each shard owned once"))
+                .collect();
+            let spec = Arc::clone(&spec);
+            let metrics = Arc::clone(&metrics);
+            let max_frontier = config.max_view_frontier;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rega-stream-{w}"))
+                    .spawn(move || worker_loop(spec, metrics, owned, max_frontier))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Engine {
+            senders,
+            workers: handles,
+            metrics,
+            shards,
+        }
+    }
+
+    /// The shard an event for `session` is routed to.
+    pub fn shard_of(&self, session: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        session.hash(&mut h);
+        (h.finish() % self.shards as u64) as usize
+    }
+
+    /// Submits one event, blocking while the target shard's queue is full.
+    pub fn submit(&self, event: Event) {
+        let shard = self.shard_of(event.session());
+        self.metrics
+            .events_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.senders[shard]
+            .send(Envelope {
+                event,
+                submitted: Instant::now(),
+            })
+            .expect("worker thread exited while the engine was still accepting events");
+    }
+
+    /// The live metrics handle.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// Signals end-of-stream, waits for the workers to drain every queue,
+    /// and returns the combined report.
+    pub fn finish(self) -> EngineReport {
+        drop(self.senders);
+        let mut outcomes: Vec<SessionOutcome> = Vec::new();
+        for handle in self.workers {
+            let shard_outcomes = handle.join().expect("worker thread panicked");
+            outcomes.extend(shard_outcomes);
+        }
+        outcomes.sort_by(|a, b| a.session.cmp(&b.session));
+        EngineReport {
+            outcomes,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// A shard's resident state: live sessions plus the outcomes of already
+/// evicted ones (the latter also serve as tombstones so late events for a
+/// closed session are counted, not resurrected).
+#[derive(Default)]
+struct ShardState {
+    live: HashMap<String, Session>,
+    closed: HashMap<String, SessionOutcome>,
+}
+
+fn worker_loop(
+    spec: Arc<CompiledSpec>,
+    metrics: Arc<EngineMetrics>,
+    receivers: Vec<Receiver<Envelope>>,
+    max_frontier: usize,
+) -> Vec<SessionOutcome> {
+    let mut shards: Vec<ShardState> = receivers.iter().map(|_| ShardState::default()).collect();
+    // Single-shard workers can block on recv (no other queue to starve).
+    if let [rx] = &receivers[..] {
+        while let Ok(env) = rx.recv() {
+            metrics.queue_latency.record(env.submitted.elapsed());
+            let started = Instant::now();
+            process(&spec, &metrics, &mut shards[0], env.event, max_frontier);
+            metrics.process_latency.record(started.elapsed());
+            metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+        }
+        return report_shards(&metrics, shards);
+    }
+    let mut open: Vec<bool> = vec![true; receivers.len()];
+    // Round-robin over owned shards; drain in small batches to stay fair.
+    const BATCH: usize = 64;
+    loop {
+        let mut progressed = false;
+        for (i, rx) in receivers.iter().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            for _ in 0..BATCH {
+                match rx.try_recv() {
+                    Ok(env) => {
+                        metrics.queue_latency.record(env.submitted.elapsed());
+                        let started = Instant::now();
+                        process(&spec, &metrics, &mut shards[i], env.event, max_frontier);
+                        metrics.process_latency.record(started.elapsed());
+                        metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        open[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if open.iter().all(|o| !o) {
+            break;
+        }
+        if !progressed {
+            // All owned queues momentarily empty: yield briefly instead of
+            // spinning. (Blocking recv would stall the other owned shards.)
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+    report_shards(&metrics, shards)
+}
+
+/// End of stream: report evicted sessions plus whatever is still live.
+fn report_shards(metrics: &EngineMetrics, shards: Vec<ShardState>) -> Vec<SessionOutcome> {
+    let mut outcomes = Vec::new();
+    for shard in shards {
+        outcomes.extend(shard.closed.into_values());
+        for (name, session) in shard.live {
+            metrics.session_out();
+            outcomes.push(SessionOutcome {
+                session: name,
+                status: session.status().clone(),
+                events: session.events,
+                view_degraded: session.view_degraded,
+            });
+        }
+    }
+    outcomes
+}
+
+fn process(
+    spec: &CompiledSpec,
+    metrics: &EngineMetrics,
+    shard: &mut ShardState,
+    event: Event,
+    max_frontier: usize,
+) {
+    let name = event.session();
+    if shard.closed.contains_key(name) {
+        metrics
+            .events_after_eviction
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match event {
+        Event::Step {
+            session: name,
+            state,
+            regs,
+        } => {
+            let session = shard.live.entry(name.clone()).or_insert_with(|| {
+                metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
+                metrics.session_in();
+                Session::new(spec, max_frontier)
+            });
+            match session.step(spec, &state, &regs) {
+                SessionStatus::Active => {
+                    metrics.events_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionStatus::Violated(_) => {
+                    metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+                    evict(metrics, shard, &name);
+                }
+                SessionStatus::Ended => unreachable!("step never yields Ended"),
+            }
+        }
+        Event::End { session: name } => {
+            match shard.live.get_mut(&name) {
+                Some(session) => {
+                    if session.end() == &SessionStatus::Ended {
+                        metrics.sessions_ended.fetch_add(1, Ordering::Relaxed);
+                    }
+                    evict(metrics, shard, &name);
+                }
+                None => {
+                    // An end for a session that never stepped: record it as
+                    // an ended, empty session.
+                    metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_ended.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                    shard.closed.insert(
+                        name.clone(),
+                        SessionOutcome {
+                            session: name,
+                            status: SessionStatus::Ended,
+                            events: 1,
+                            view_degraded: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Moves a session from the live map to the closed (outcome) map, dropping
+/// its monitor and observer state.
+fn evict(metrics: &EngineMetrics, shard: &mut ShardState, name: &str) {
+    let Some(session) = shard.live.remove(name) else {
+        return;
+    };
+    if session.view_degraded {
+        metrics.view_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.session_out();
+    shard.closed.insert(
+        name.to_string(),
+        SessionOutcome {
+            session: name.to_string(),
+            status: session.status().clone(),
+            events: session.events,
+            view_degraded: session.view_degraded,
+        },
+    );
+}

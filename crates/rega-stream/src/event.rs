@@ -1,0 +1,157 @@
+//! The JSONL wire format of the event stream.
+//!
+//! One event per line:
+//!
+//! ```text
+//! {"session": "paper-17", "state": "submitted", "regs": [17, 3, 17]}
+//! {"session": "paper-17", "end": true}
+//! ```
+//!
+//! A `state`/`regs` event advances the named session's run by one position;
+//! an `end` event closes the session and evicts its monitoring state.
+
+use rega_data::Value;
+use std::fmt;
+
+/// A parsed stream event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The session's run moved to `state` with register contents `regs`.
+    Step {
+        /// Session identifier (demultiplexing key).
+        session: String,
+        /// Name of the control state the run is now in.
+        state: String,
+        /// Register contents at this position.
+        regs: Vec<Value>,
+    },
+    /// The session terminated; its state can be evicted.
+    End {
+        /// Session identifier.
+        session: String,
+    },
+}
+
+impl Event {
+    /// The session this event belongs to.
+    pub fn session(&self) -> &str {
+        match self {
+            Event::Step { session, .. } | Event::End { session } => session,
+        }
+    }
+}
+
+/// A malformed event line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventError {
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad event: {}", self.message)
+    }
+}
+
+impl std::error::Error for EventError {}
+
+fn err(message: impl Into<String>) -> EventError {
+    EventError {
+        message: message.into(),
+    }
+}
+
+/// Parses one JSONL line into an [`Event`].
+pub fn parse_event(line: &str) -> Result<Event, EventError> {
+    let value = serde_json::from_str(line).map_err(|e| err(e.to_string()))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| err("event must be a JSON object"))?;
+    let session = obj
+        .get("session")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| err("missing string field `session`"))?
+        .to_string();
+    if session.is_empty() {
+        return Err(err("`session` must be non-empty"));
+    }
+    if let Some(end) = obj.get("end") {
+        if end.as_bool() != Some(true) {
+            return Err(err("`end` must be `true` when present"));
+        }
+        for key in obj.keys() {
+            if key != "session" && key != "end" {
+                return Err(err(format!("unexpected field `{key}` in end event")));
+            }
+        }
+        return Ok(Event::End { session });
+    }
+    let state = obj
+        .get("state")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| err("missing string field `state`"))?
+        .to_string();
+    let regs_json = obj
+        .get("regs")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| err("missing array field `regs`"))?;
+    let mut regs = Vec::with_capacity(regs_json.len());
+    for v in regs_json {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| err("`regs` entries must be unsigned integers"))?;
+        regs.push(Value(n));
+    }
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "session" | "state" | "regs") {
+            return Err(err(format!("unexpected field `{key}` in step event")));
+        }
+    }
+    Ok(Event::Step {
+        session,
+        state,
+        regs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_step_and_end() {
+        let e = parse_event(r#"{"session": "s1", "state": "q", "regs": [1, 2]}"#).unwrap();
+        assert_eq!(
+            e,
+            Event::Step {
+                session: "s1".into(),
+                state: "q".into(),
+                regs: vec![Value(1), Value(2)],
+            }
+        );
+        let e = parse_event(r#"{"session": "s1", "end": true}"#).unwrap();
+        assert_eq!(
+            e,
+            Event::End {
+                session: "s1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"state": "q", "regs": []}"#,
+            r#"{"session": "", "state": "q", "regs": []}"#,
+            r#"{"session": "s", "state": "q"}"#,
+            r#"{"session": "s", "state": "q", "regs": [-1]}"#,
+            r#"{"session": "s", "end": false}"#,
+            r#"{"session": "s", "state": "q", "regs": [], "extra": 1}"#,
+        ] {
+            assert!(parse_event(bad).is_err(), "should reject: {bad}");
+        }
+    }
+}

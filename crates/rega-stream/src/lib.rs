@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! `rega-stream` — a sharded, multi-session streaming engine that monitors
+//! many concurrent runs of one register automaton (and, optionally, the
+//! consistency of their projection view) against a single compiled
+//! specification.
+//!
+//! The paper's workflow reading motivates the shape: a specification like
+//! the reviewing workflow (Example 1 / Section 5) describes *one* paper's
+//! lifecycle, but a deployed system processes thousands of papers at once,
+//! each an independent run of the same automaton, with events arriving as
+//! one interleaved stream. The engine demultiplexes that stream:
+//!
+//! * [`spec::CompiledSpec`] — everything derived from the automaton once,
+//!   shared read-only (`Arc`) across all sessions and workers: state-name
+//!   table, per-state transition indices, the global-constraint DFAs, and
+//!   optionally the Proposition 20 / Theorem 13 projection view for
+//!   observer checking.
+//! * [`session::Session`] — the per-run mutable state: current
+//!   configuration, the incremental
+//!   [`ConstraintMonitor`](rega_core::monitor::ConstraintMonitor), the
+//!   one-step-reachable control-state set, and an optional
+//!   [`ViewObserver`](rega_views::ViewObserver) fed the projected tuple.
+//! * [`engine::Engine`] — sessions are hashed onto shards; each shard has a
+//!   bounded queue consumed by exactly one worker thread (so per-session
+//!   event order is preserved), workers own ⌈shards/workers⌉ queues, and a
+//!   full queue back-pressures the producer. Sessions are evicted on their
+//!   terminal event, keeping resident state proportional to the number of
+//!   *live* sessions, not the number ever seen.
+//! * [`metrics::EngineMetrics`] — lock-free counters and coarse
+//!   power-of-two latency histograms, exportable as JSON.
+//!
+//! Everything is built on `std` (`std::thread`, `std::sync::mpsc`); the
+//! engine introduces no external dependencies.
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod session;
+pub mod spec;
+
+pub use engine::{Engine, EngineConfig, EngineReport, SessionOutcome};
+pub use event::{parse_event, Event, EventError};
+pub use metrics::EngineMetrics;
+pub use session::{Session, SessionStatus, ViolationKind};
+pub use spec::CompiledSpec;

@@ -1,0 +1,175 @@
+//! Lock-free engine metrics: monotonic counters, a live-session gauge with
+//! a high-water mark, and coarse power-of-two latency histograms.
+
+use serde_json::{json, Value as Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` nanoseconds, the last bucket is unbounded (≥ ~33 ms).
+const BUCKETS: usize = 26;
+
+/// A coarse base-2 histogram of durations.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// An approximate quantile (upper bound of the bucket containing it),
+    /// in nanoseconds. Returns 0 with no samples.
+    pub fn approx_quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+
+    fn snapshot(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.load(Ordering::Relaxed) > 0)
+            .map(|(i, b)| {
+                json!({
+                    "le_ns": 1u64 << (i + 1).min(63),
+                    "count": b.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
+        json!({
+            "count": self.count(),
+            "p50_ns_le": self.approx_quantile_ns(0.5),
+            "p99_ns_le": self.approx_quantile_ns(0.99),
+            "buckets": Json::Array(buckets),
+        })
+    }
+}
+
+/// Counters shared by the producer and all workers. Everything is relaxed
+/// atomics: metrics never synchronize data, they only count.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Events submitted to the engine (accepted into a queue).
+    pub events_submitted: AtomicU64,
+    /// Events fully processed by a worker.
+    pub events_processed: AtomicU64,
+    /// Step events applied to an `Active` session without violation.
+    pub events_ok: AtomicU64,
+    /// Sessions created.
+    pub sessions_started: AtomicU64,
+    /// Sessions that received their terminal event while still valid.
+    pub sessions_ended: AtomicU64,
+    /// Sessions whose stream violated the specification.
+    pub sessions_violated: AtomicU64,
+    /// Sessions evicted (terminal event or violation) — their monitoring
+    /// state has been dropped.
+    pub sessions_evicted: AtomicU64,
+    /// Events addressed to an already-evicted session (ignored).
+    pub events_after_eviction: AtomicU64,
+    /// Sessions whose view observer degraded to three-valued answers.
+    pub view_degraded: AtomicU64,
+    /// Currently resident sessions across all shards.
+    pub sessions_active: AtomicU64,
+    /// High-water mark of `sessions_active`.
+    pub sessions_active_peak: AtomicU64,
+    /// Per-event worker processing latency.
+    pub process_latency: LatencyHistogram,
+    /// Time events spent waiting in shard queues.
+    pub queue_latency: LatencyHistogram,
+}
+
+impl EngineMetrics {
+    /// Registers a session becoming resident.
+    pub fn session_in(&self) {
+        let now = self.sessions_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sessions_active_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Registers a session being evicted.
+    pub fn session_out(&self) {
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A JSON snapshot of all counters and histograms.
+    pub fn snapshot(&self) -> Json {
+        let c = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        json!({
+            "events": {
+                "submitted": c(&self.events_submitted),
+                "processed": c(&self.events_processed),
+                "ok": c(&self.events_ok),
+                "after_eviction": c(&self.events_after_eviction),
+            },
+            "sessions": {
+                "started": c(&self.sessions_started),
+                "ended": c(&self.sessions_ended),
+                "violated": c(&self.sessions_violated),
+                "evicted": c(&self.sessions_evicted),
+                "active": c(&self.sessions_active),
+                "active_peak": c(&self.sessions_active_peak),
+                "view_degraded": c(&self.view_degraded),
+            },
+            "latency": {
+                "process": self.process_latency.snapshot(),
+                "queue": self.queue_latency.snapshot(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // far tail
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.approx_quantile_ns(0.5), 128);
+        assert!(h.approx_quantile_ns(1.0) >= 100_000);
+    }
+
+    #[test]
+    fn snapshot_is_json() {
+        let m = EngineMetrics::default();
+        m.session_in();
+        m.session_in();
+        m.session_out();
+        m.process_latency.record(Duration::from_micros(3));
+        let snap = m.snapshot();
+        assert_eq!(snap["sessions"]["active"].as_u64(), Some(1));
+        assert_eq!(snap["sessions"]["active_peak"].as_u64(), Some(2));
+        assert_eq!(snap["latency"]["process"]["count"].as_u64(), Some(1));
+        // round-trips through the serializer
+        let text = serde_json::to_string(&snap).unwrap();
+        assert!(serde_json::from_str(&text).is_ok());
+    }
+}

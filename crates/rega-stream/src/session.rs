@@ -1,0 +1,299 @@
+//! Per-session monitoring state.
+
+use crate::spec::CompiledSpec;
+use rega_core::monitor::ConstraintMonitor;
+use rega_core::StateId;
+use rega_data::Value;
+use rega_views::observer::{Verdict, ViewObserver};
+use std::fmt;
+
+/// Why a session's event stream stopped being a run of the specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The event named a control state the automaton does not have.
+    UnknownState(String),
+    /// The first event of the session named a non-initial state.
+    NotInitial(String),
+    /// The event's register tuple has the wrong arity.
+    Arity {
+        /// Arity the event carried.
+        got: usize,
+        /// The automaton's register count.
+        want: usize,
+    },
+    /// No transition of the automaton explains the observed state change
+    /// (either the target is not a one-step successor, or no σ-type between
+    /// the two states is satisfied by the observed register change).
+    NoTransition {
+        /// Name of the source state.
+        from: String,
+        /// Name of the claimed target state.
+        to: String,
+    },
+    /// A global (in)equality constraint fired and failed.
+    Constraint {
+        /// Index of the violated constraint.
+        constraint: usize,
+    },
+    /// The projected tuple stream is not a prefix of any view run.
+    ViewInconsistent,
+    /// An event arrived for a session that already ended.
+    AfterEnd,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::UnknownState(s) => write!(f, "unknown state `{s}`"),
+            ViolationKind::NotInitial(s) => write!(f, "state `{s}` is not initial"),
+            ViolationKind::Arity { got, want } => {
+                write!(f, "register tuple has arity {got}, automaton has {want}")
+            }
+            ViolationKind::NoTransition { from, to } => {
+                write!(f, "no enabled transition `{from}` -> `{to}`")
+            }
+            ViolationKind::Constraint { constraint } => {
+                write!(f, "global constraint {constraint} violated")
+            }
+            ViolationKind::ViewInconsistent => write!(f, "projected trace leaves the view"),
+            ViolationKind::AfterEnd => write!(f, "event after session end"),
+        }
+    }
+}
+
+/// Lifecycle of a session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The observed prefix is (so far) a valid run prefix.
+    Active,
+    /// The session received its terminal event while still valid.
+    Ended,
+    /// The session's stream violated the specification.
+    Violated(ViolationKind),
+}
+
+/// The mutable monitoring state of one session: current configuration,
+/// incremental constraint monitor, the one-step-reachable control-state
+/// set (served from the compiled spec), and the optional view observer.
+#[derive(Clone, Debug)]
+pub struct Session {
+    status: SessionStatus,
+    /// Current `(state, registers)`, absent before the first event.
+    cur: Option<(StateId, Vec<Value>)>,
+    monitor: ConstraintMonitor,
+    observer: Option<ViewObserver>,
+    /// Events consumed (including the one that violated, if any).
+    pub events: u64,
+    /// Whether the view observer ever degraded to three-valued answers.
+    pub view_degraded: bool,
+}
+
+impl Session {
+    /// A fresh session against `spec`. An observer is attached iff the
+    /// spec was compiled with a view.
+    pub fn new(spec: &CompiledSpec, max_view_frontier: usize) -> Self {
+        Session {
+            status: SessionStatus::Active,
+            cur: None,
+            monitor: ConstraintMonitor::new(spec.ext()),
+            observer: spec
+                .view()
+                .map(|_| ViewObserver::with_max_frontier(max_view_frontier)),
+            events: 0,
+            view_degraded: false,
+        }
+    }
+
+    /// The session's lifecycle status.
+    pub fn status(&self) -> &SessionStatus {
+        &self.status
+    }
+
+    /// Current control state, if any event has been consumed.
+    pub fn state(&self) -> Option<StateId> {
+        self.cur.as_ref().map(|(s, _)| *s)
+    }
+
+    /// The control states an in-spec next event could name.
+    pub fn reachable<'s>(&self, spec: &'s CompiledSpec) -> &'s [StateId] {
+        match &self.cur {
+            Some((s, _)) => spec.successors(*s),
+            None => &[],
+        }
+    }
+
+    /// Size of the constraint-monitor configuration plus the observer
+    /// frontier — the session's memory footprint proxy.
+    pub fn resident_size(&self) -> usize {
+        self.monitor.active_size()
+            + self
+                .observer
+                .as_ref()
+                .map_or(0, ViewObserver::frontier_size)
+    }
+
+    /// Consumes one step event. Returns the status after the event; a
+    /// violation is sticky and marks the session for eviction.
+    pub fn step(&mut self, spec: &CompiledSpec, state: &str, regs: &[Value]) -> &SessionStatus {
+        self.events += 1;
+        if self.status != SessionStatus::Active {
+            if !matches!(self.status, SessionStatus::Violated(_)) {
+                self.status = SessionStatus::Violated(ViolationKind::AfterEnd);
+            }
+            return &self.status;
+        }
+        if let Some(kind) = self.try_step(spec, state, regs) {
+            self.status = SessionStatus::Violated(kind);
+        }
+        &self.status
+    }
+
+    fn try_step(
+        &mut self,
+        spec: &CompiledSpec,
+        state: &str,
+        regs: &[Value],
+    ) -> Option<ViolationKind> {
+        let k = spec.ext().ra().k() as usize;
+        if regs.len() != k {
+            return Some(ViolationKind::Arity {
+                got: regs.len(),
+                want: k,
+            });
+        }
+        let Some(sid) = spec.state_id(state) else {
+            return Some(ViolationKind::UnknownState(state.to_string()));
+        };
+        match &self.cur {
+            None => {
+                if !spec.ext().ra().initial_states().any(|s| s == sid) {
+                    return Some(ViolationKind::NotInitial(state.to_string()));
+                }
+            }
+            Some((from, pre)) => {
+                if !spec.transition_enabled(*from, pre, sid, regs) {
+                    return Some(ViolationKind::NoTransition {
+                        from: spec.ext().ra().state_name(*from).to_string(),
+                        to: state.to_string(),
+                    });
+                }
+            }
+        }
+        if let Some(v) = self.monitor.step(spec.ext(), sid, regs) {
+            return Some(ViolationKind::Constraint {
+                constraint: v.constraint,
+            });
+        }
+        if let (Some(observer), Some(part)) = (&mut self.observer, spec.view()) {
+            let visible = &regs[..part.m as usize];
+            match observer.observe(&part.view, spec.db(), visible) {
+                Verdict::Consistent => {}
+                Verdict::Violation => return Some(ViolationKind::ViewInconsistent),
+                Verdict::Unknown => self.view_degraded = true,
+            }
+            if observer.overflowed() {
+                self.view_degraded = true;
+            }
+        }
+        self.cur = Some((sid, regs.to_vec()));
+        None
+    }
+
+    /// Consumes the terminal event.
+    pub fn end(&mut self) -> &SessionStatus {
+        self.events += 1;
+        if self.status == SessionStatus::Active {
+            self.status = SessionStatus::Ended;
+        }
+        &self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_core::spec::parse_spec;
+    use rega_data::{Database, Schema};
+
+    fn two_state_spec(view: Option<u16>) -> CompiledSpec {
+        // One register; `a` keeps it, moving to `b` frees it.
+        let text = "\
+registers 1
+state a init accept
+state b accept
+trans a -> a : x1 = y1
+trans a -> b :
+trans b -> b :
+";
+        let ext = parse_spec(text).unwrap();
+        CompiledSpec::compile(ext, Database::new(Schema::empty()), view).unwrap()
+    }
+
+    #[test]
+    fn valid_session_lifecycle() {
+        let spec = two_state_spec(None);
+        let mut s = Session::new(&spec, 64);
+        assert_eq!(s.step(&spec, "a", &[Value(5)]), &SessionStatus::Active);
+        assert_eq!(s.step(&spec, "a", &[Value(5)]), &SessionStatus::Active);
+        assert_eq!(s.step(&spec, "b", &[Value(7)]), &SessionStatus::Active);
+        assert_eq!(s.reachable(&spec), &[StateId(1)]);
+        assert_eq!(s.end(), &SessionStatus::Ended);
+        assert_eq!(s.events, 4);
+    }
+
+    #[test]
+    fn bad_transitions_are_caught() {
+        let spec = two_state_spec(None);
+        // not initial
+        let mut s = Session::new(&spec, 64);
+        assert!(matches!(
+            s.step(&spec, "b", &[Value(1)]),
+            SessionStatus::Violated(ViolationKind::NotInitial(_))
+        ));
+        // unknown state
+        let mut s = Session::new(&spec, 64);
+        assert!(matches!(
+            s.step(&spec, "zz", &[Value(1)]),
+            SessionStatus::Violated(ViolationKind::UnknownState(_))
+        ));
+        // arity
+        let mut s = Session::new(&spec, 64);
+        assert!(matches!(
+            s.step(&spec, "a", &[Value(1), Value(2)]),
+            SessionStatus::Violated(ViolationKind::Arity { .. })
+        ));
+        // a -> a must keep the register
+        let mut s = Session::new(&spec, 64);
+        s.step(&spec, "a", &[Value(1)]);
+        assert!(matches!(
+            s.step(&spec, "a", &[Value(2)]),
+            SessionStatus::Violated(ViolationKind::NoTransition { .. })
+        ));
+        // b -> a does not exist
+        let mut s = Session::new(&spec, 64);
+        s.step(&spec, "a", &[Value(1)]);
+        s.step(&spec, "b", &[Value(1)]);
+        assert!(matches!(
+            s.step(&spec, "a", &[Value(1)]),
+            SessionStatus::Violated(ViolationKind::NoTransition { .. })
+        ));
+        // events after end
+        let mut s = Session::new(&spec, 64);
+        s.step(&spec, "a", &[Value(1)]);
+        s.end();
+        assert!(matches!(
+            s.step(&spec, "a", &[Value(1)]),
+            SessionStatus::Violated(ViolationKind::AfterEnd)
+        ));
+    }
+
+    #[test]
+    fn view_observer_rides_along() {
+        let spec = two_state_spec(Some(1));
+        let mut s = Session::new(&spec, 64);
+        assert_eq!(s.step(&spec, "a", &[Value(5)]), &SessionStatus::Active);
+        assert_eq!(s.step(&spec, "b", &[Value(9)]), &SessionStatus::Active);
+        assert_eq!(s.step(&spec, "b", &[Value(2)]), &SessionStatus::Active);
+        assert!(s.resident_size() > 0);
+    }
+}

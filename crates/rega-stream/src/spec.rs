@@ -1,0 +1,137 @@
+//! The compiled, shareable form of a monitored specification.
+
+use rega_core::{CoreError, ExtendedAutomaton, StateId, TransId};
+use rega_data::{Database, Value};
+use rega_views::{project_extended, project_register_automaton};
+use std::collections::HashMap;
+
+/// Everything derived from the automaton once and shared read-only (behind
+/// an `Arc`) by every session and worker:
+///
+/// * the extended automaton itself (transitions + constraint DFAs),
+/// * the state-name table for resolving event `state` fields,
+/// * per-(source, target) transition indices so a session checks only the
+///   transitions that could explain an observed state change,
+/// * optionally the projection view onto the first `m` registers (Prop 20
+///   for plain automata, Thm 13 when global constraints are present), for
+///   feeding per-session [`ViewObserver`](rega_views::ViewObserver)s.
+#[derive(Debug)]
+pub struct CompiledSpec {
+    ext: ExtendedAutomaton,
+    db: Database,
+    state_by_name: HashMap<String, StateId>,
+    /// `(from, to)` → transitions from `from` to `to`.
+    edges: HashMap<(StateId, StateId), Vec<TransId>>,
+    /// One-step successor states per state (the session's reachable set).
+    successors: Vec<Vec<StateId>>,
+    view: Option<ViewPart>,
+}
+
+/// A compiled projection view.
+#[derive(Debug)]
+pub struct ViewPart {
+    /// The view extended automaton over the first `m` registers.
+    pub view: ExtendedAutomaton,
+    /// Number of visible registers.
+    pub m: u16,
+}
+
+impl CompiledSpec {
+    /// Compiles `ext` over `db`. When `view_m` is given, additionally
+    /// builds the projection view onto the first `view_m` registers
+    /// (requires an empty schema, as the projection constructions do).
+    pub fn compile(
+        ext: ExtendedAutomaton,
+        db: Database,
+        view_m: Option<u16>,
+    ) -> Result<Self, CoreError> {
+        let ra = ext.ra();
+        let mut state_by_name = HashMap::new();
+        for s in 0..ra.num_states() {
+            let id = StateId(s as u32);
+            state_by_name.insert(ra.state_name(id).to_string(), id);
+        }
+        let mut edges: HashMap<(StateId, StateId), Vec<TransId>> = HashMap::new();
+        let mut successors: Vec<Vec<StateId>> = vec![Vec::new(); ra.num_states()];
+        for (s, succ) in successors.iter_mut().enumerate() {
+            let from = StateId(s as u32);
+            for &t in ra.outgoing(from) {
+                let to = ra.transition(t).to;
+                edges.entry((from, to)).or_default().push(t);
+                if !succ.contains(&to) {
+                    succ.push(to);
+                }
+            }
+        }
+        let view = match view_m {
+            None => None,
+            Some(m) => {
+                let view = if ext.constraints().is_empty() {
+                    project_register_automaton(ra, m)?.view
+                } else {
+                    project_extended(&ext, m)?.view
+                };
+                Some(ViewPart { view, m })
+            }
+        };
+        Ok(CompiledSpec {
+            ext,
+            db,
+            state_by_name,
+            edges,
+            successors,
+            view,
+        })
+    }
+
+    /// The monitored extended automaton.
+    pub fn ext(&self) -> &ExtendedAutomaton {
+        &self.ext
+    }
+
+    /// The database the run is evaluated over.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Resolves an event's state name.
+    pub fn state_id(&self, name: &str) -> Option<StateId> {
+        self.state_by_name.get(name).copied()
+    }
+
+    /// The transitions leading from `from` to `to` (empty if none).
+    pub fn edges(&self, from: StateId, to: StateId) -> &[TransId] {
+        self.edges
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The one-step-reachable control states from `from`.
+    pub fn successors(&self, from: StateId) -> &[StateId] {
+        &self.successors[from.0 as usize]
+    }
+
+    /// The compiled projection view, if one was requested.
+    pub fn view(&self) -> Option<&ViewPart> {
+        self.view.as_ref()
+    }
+
+    /// Whether any transition from the configuration `(from, pre)` to
+    /// `(to, post)` is enabled.
+    pub fn transition_enabled(
+        &self,
+        from: StateId,
+        pre: &[Value],
+        to: StateId,
+        post: &[Value],
+    ) -> bool {
+        self.edges(from, to).iter().any(|&t| {
+            self.ext
+                .ra()
+                .transition(t)
+                .ty
+                .satisfied_by(&self.db, pre, post)
+        })
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end engine tests: correctness of the sharded pipeline and the
+//! bounded-memory (eviction) behavior under a large interleaved stream.
+
+use rega_core::spec::parse_spec;
+use rega_data::{Database, Schema};
+use rega_stream::{parse_event, CompiledSpec, Engine, EngineConfig, SessionStatus};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn counter_spec() -> Arc<CompiledSpec> {
+    // One register that must strictly keep its value in `run`, with an exit
+    // to `done`.
+    let text = "\
+registers 1
+state run init accept
+state done accept
+trans run -> run : x1 = y1
+trans run -> done :
+trans done -> done :
+";
+    let ext = parse_spec(text).unwrap();
+    Arc::new(CompiledSpec::compile(ext, Database::new(Schema::empty()), None).unwrap())
+}
+
+#[test]
+fn verdicts_are_per_session_and_order_preserving() {
+    let spec = counter_spec();
+    let engine = Engine::start(
+        spec,
+        EngineConfig {
+            shards: 4,
+            workers: 2,
+            queue_capacity: 16,
+            max_view_frontier: 16,
+        },
+    );
+    // good: run(1) run(1) done(2) end — valid and ended
+    // bad:  run(1) run(2) — the register changed inside `run`
+    // open: run(7) — valid but never ended
+    for line in [
+        r#"{"session": "good", "state": "run", "regs": [1]}"#,
+        r#"{"session": "bad", "state": "run", "regs": [1]}"#,
+        r#"{"session": "good", "state": "run", "regs": [1]}"#,
+        r#"{"session": "open", "state": "run", "regs": [7]}"#,
+        r#"{"session": "bad", "state": "run", "regs": [2]}"#,
+        r#"{"session": "good", "state": "done", "regs": [2]}"#,
+        r#"{"session": "good", "end": true}"#,
+        r#"{"session": "bad", "state": "run", "regs": [2]}"#, // after eviction
+    ] {
+        engine.submit(parse_event(line).unwrap());
+    }
+    let report = engine.finish();
+    assert_eq!(report.outcomes.len(), 3);
+    let by_name = |n: &str| {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.session == n)
+            .unwrap_or_else(|| panic!("missing outcome {n}"))
+    };
+    assert_eq!(by_name("good").status, SessionStatus::Ended);
+    assert_eq!(by_name("good").events, 4);
+    assert!(matches!(by_name("bad").status, SessionStatus::Violated(_)));
+    assert_eq!(by_name("open").status, SessionStatus::Active);
+    assert_eq!(report.violations().count(), 1);
+    let m = &report.metrics;
+    assert_eq!(m.events_submitted.load(Ordering::Relaxed), 8);
+    assert_eq!(m.events_processed.load(Ordering::Relaxed), 8);
+    assert_eq!(m.events_after_eviction.load(Ordering::Relaxed), 1);
+    assert_eq!(m.sessions_started.load(Ordering::Relaxed), 3);
+    assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 3);
+    assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn hundred_thousand_events_thousand_sessions_bounded_memory() {
+    // 2000 sessions × 50 events, streamed in waves of 100 concurrently
+    // live sessions. Eviction on the terminal event must keep the
+    // high-water mark of resident sessions at the wave size, not the
+    // total session count.
+    const WAVES: usize = 20;
+    const WAVE_SESSIONS: usize = 100;
+    const STEPS: usize = 49; // + end event = 50 events/session
+
+    let spec = counter_spec();
+    let engine = Engine::start(
+        spec,
+        EngineConfig {
+            shards: 8,
+            workers: 4,
+            queue_capacity: 256,
+            max_view_frontier: 16,
+        },
+    );
+    let mut submitted = 0u64;
+    for wave in 0..WAVES {
+        // Interleave the wave's sessions step by step, like a real
+        // multiplexed stream.
+        for step in 0..STEPS {
+            for s in 0..WAVE_SESSIONS {
+                let id = wave * WAVE_SESSIONS + s;
+                let line = format!(r#"{{"session": "s{id}", "state": "run", "regs": [{id}]}}"#);
+                engine.submit(parse_event(&line).unwrap());
+                submitted += 1;
+                let _ = step;
+            }
+        }
+        for s in 0..WAVE_SESSIONS {
+            let id = wave * WAVE_SESSIONS + s;
+            let line = format!(r#"{{"session": "s{id}", "end": true}}"#);
+            engine.submit(parse_event(&line).unwrap());
+            submitted += 1;
+        }
+    }
+    assert_eq!(submitted, 100_000);
+    let report = engine.finish();
+    assert_eq!(report.outcomes.len(), WAVES * WAVE_SESSIONS);
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| o.status == SessionStatus::Ended));
+    let m = &report.metrics;
+    assert_eq!(m.events_processed.load(Ordering::Relaxed), 100_000);
+    assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 2000);
+    assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+    // The bounded-memory claim: never more than one wave (plus slack for
+    // queued cross-wave events) resident at once.
+    let peak = m.sessions_active_peak.load(Ordering::Relaxed);
+    assert!(
+        peak <= 2 * WAVE_SESSIONS as u64,
+        "peak resident sessions {peak} exceeds the wave size bound"
+    );
+    // Latency histograms actually saw the traffic.
+    assert_eq!(m.process_latency.count(), 100_000);
+    let snapshot = m.snapshot();
+    assert_eq!(
+        snapshot["events"]["processed"].as_u64(),
+        Some(100_000),
+        "metrics snapshot must reflect the stream"
+    );
+}
+
+#[test]
+fn backpressure_blocks_instead_of_dropping() {
+    // A tiny queue with a slow consumer still delivers everything.
+    let spec = counter_spec();
+    let engine = Engine::start(
+        spec,
+        EngineConfig {
+            shards: 1,
+            workers: 1,
+            queue_capacity: 2,
+            max_view_frontier: 4,
+        },
+    );
+    for i in 0..500 {
+        let line = format!(r#"{{"session": "only", "state": "run", "regs": [{}]}}"#, 42);
+        engine.submit(parse_event(&line).unwrap());
+        let _ = i;
+    }
+    let report = engine.finish();
+    assert_eq!(report.metrics.events_processed.load(Ordering::Relaxed), 500);
+    assert_eq!(report.outcomes.len(), 1);
+    assert_eq!(report.outcomes[0].events, 500);
+}

@@ -7,6 +7,10 @@ fn main() {
     let proj = rega_views::thm24::project_hiding_database(&ra, 1, &Default::default()).unwrap();
     println!("construction: {:?}", t0.elapsed());
     for (i, c) in proj.view.tuple_inequalities().iter().enumerate() {
-        println!("  constraint {i}: arity {}, selector {} states", c.arity(), c.selector.num_states());
+        println!(
+            "  constraint {i}: arity {}, selector {} states",
+            c.arity(),
+            c.selector.num_states()
+        );
     }
 }

@@ -50,20 +50,15 @@ pub fn refute_view_candidate(
         // initial value recurs forever: legal.
         rega_automata::Lasso::periodic(vec![vec![Value(1)], vec![Value(2)]]),
         // initial value occurs only once: illegal (Example 4's swap).
-        rega_automata::Lasso::new(
-            vec![vec![Value(1)]],
-            vec![vec![Value(2)], vec![Value(2)]],
-        ),
+        rega_automata::Lasso::new(vec![vec![Value(1)]], vec![vec![Value(2)], vec![Value(2)]]),
     ];
     for probe in &probes {
-        let reference = simulate::find_lasso_with_projection(
-            &original, &db, probe, pool, 12, limits,
-        )?
-        .is_some();
-        let candidate_accepts = simulate::find_lasso_with_projection(
-            candidate, &db, probe, pool, 12, limits,
-        )?
-        .is_some();
+        let reference =
+            simulate::find_lasso_with_projection(&original, &db, probe, pool, 12, limits)?
+                .is_some();
+        let candidate_accepts =
+            simulate::find_lasso_with_projection(candidate, &db, probe, pool, 12, limits)?
+                .is_some();
         if reference != candidate_accepts {
             return Ok(true);
         }
@@ -120,9 +115,7 @@ pub fn example8_longest_p_block(n_values: usize, limits: SearchLimits) -> usize 
     let mut best = 0;
     for len in 1..=n_values + 2 {
         let runs = simulate::enumerate_prefixes(&ext, &db, len, &pool, limits);
-        let ok = runs
-            .iter()
-            .any(|r| r.configs.iter().all(|c| c.state == p));
+        let ok = runs.iter().any(|r| r.configs.iter().all(|c| c.state == p));
         if ok {
             best = len;
         } else {

@@ -60,10 +60,7 @@ impl<'a> FlowContext<'a> {
         };
         let k = self.ra.k();
         (0..k)
-            .filter(|&l| {
-                base.iter()
-                    .any(|&m| a.forced_eq(Term::x(l), Term::x(m)))
-            })
+            .filter(|&l| base.iter().any(|&m| a.forced_eq(Term::x(l), Term::x(m))))
             .collect()
     }
 
@@ -75,10 +72,7 @@ impl<'a> FlowContext<'a> {
         };
         let k = self.ra.k();
         (0..k)
-            .filter(|&m| {
-                set.iter()
-                    .any(|&s| a.forced_eq(Term::x(s), Term::y(m)))
-            })
+            .filter(|&m| set.iter().any(|&s| a.forced_eq(Term::x(s), Term::y(m))))
             .collect()
     }
 
@@ -223,9 +217,7 @@ pub fn neq_dfa(ra: &RegisterAutomaton, i: RegIdx, j: RegIdx) -> Result<Dfa<State
         };
         let mut out = Vec::new();
         for m in 0..k {
-            let hit = set
-                .iter()
-                .any(|&l| a.forced_neq(Term::x(l), Term::x(m)));
+            let hit = set.iter().any(|&l| a.forced_neq(Term::x(l), Term::x(m)));
             if hit {
                 let t = ctx.close_x(q, &BTreeSet::from([m]));
                 if !out.contains(&t) {
@@ -242,10 +234,7 @@ pub fn neq_dfa(ra: &RegisterAutomaton, i: RegIdx, j: RegIdx) -> Result<Dfa<State
             return BTreeSet::new();
         };
         (0..k)
-            .filter(|&m| {
-                set.iter()
-                    .any(|&l| a.forced_neq(Term::x(l), Term::y(m)))
-            })
+            .filter(|&m| set.iter().any(|&l| a.forced_neq(Term::x(l), Term::y(m))))
             .collect()
     };
 
@@ -369,7 +358,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "some q1 → q2 → q2 → q1 factor must preserve register 1");
+        assert!(
+            found,
+            "some q1 → q2 → q2 → q1 factor must preserve register 1"
+        );
     }
 
     #[test]

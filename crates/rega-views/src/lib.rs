@@ -32,12 +32,14 @@
 
 pub mod counterexamples;
 pub mod lemma21;
+pub mod observer;
 pub mod prop20;
 pub mod prop22;
 pub mod prop6;
 pub mod thm13;
 pub mod thm24;
 
+pub use observer::{Verdict, ViewObserver};
 pub use prop20::{project_register_automaton, Projection};
 pub use prop6::eliminate_global_equalities;
 pub use thm13::project_extended;

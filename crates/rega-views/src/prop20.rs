@@ -34,10 +34,7 @@ pub struct Projection {
 
 /// Projects a register automaton without a database onto its first `m`
 /// registers (Proposition 20).
-pub fn project_register_automaton(
-    ra: &RegisterAutomaton,
-    m: u16,
-) -> Result<Projection, CoreError> {
+pub fn project_register_automaton(ra: &RegisterAutomaton, m: u16) -> Result<Projection, CoreError> {
     if !ra.has_no_database() {
         return Err(CoreError::SchemaNotEmpty);
     }
@@ -125,14 +122,8 @@ mod tests {
         // Settled traces: the view enforces constraints at position arrival
         // (one transition of lookahead relative to raw prefixes), so the
         // dangling final position is excluded from the comparison.
-        let want = simulate::projected_settled_traces(
-            &original,
-            &db,
-            len,
-            m as usize,
-            pool,
-            big_limits(),
-        );
+        let want =
+            simulate::projected_settled_traces(&original, &db, len, m as usize, pool, big_limits());
         let got = simulate::projected_settled_traces(
             &proj.view,
             &db,
@@ -186,7 +177,10 @@ mod tests {
                 assert_eq!(w[0], w[1], "q1-positions must carry one value");
             }
         }
-        assert!(saw_two_q1, "need prefixes revisiting q1 for the test to bite");
+        assert!(
+            saw_two_q1,
+            "need prefixes revisiting q1 for the test to bite"
+        );
     }
 
     #[test]
@@ -206,8 +200,7 @@ mod tests {
         assert_eq!(proj.view.k(), 0);
         assert!(proj.view.constraints().is_empty());
         let db = Database::new(Schema::empty());
-        let runs =
-            simulate::enumerate_prefixes(&proj.view, &db, 3, &[Value(1)], big_limits());
+        let runs = simulate::enumerate_prefixes(&proj.view, &db, 3, &[Value(1)], big_limits());
         assert!(!runs.is_empty());
     }
 

@@ -260,11 +260,7 @@ mod tests {
         // Same automaton, but a constant run violating x1 ≠ y1.
         let ext = paper::example16_a();
         let q = StateId(0);
-        let run = LassoRun::new(
-            vec![Config::new(q, vec![Value(1)])],
-            vec![TransId(0)],
-            0,
-        );
+        let run = LassoRun::new(vec![Config::new(q, vec![Value(1)])], vec![TransId(0)], 0);
         let report = enforce_lasso(&ext, &run, 2, 8).unwrap();
         assert!(!report.accepted, "x1 ≠ y1 violated by the constant run");
     }

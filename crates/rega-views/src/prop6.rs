@@ -67,9 +67,7 @@ pub fn eliminate_global_equalities(ext: &ExtendedAutomaton) -> Result<Prop6Resul
         let dfa = c.dfa();
         let mut map = HashMap::new();
         for s in 0..dfa.num_states() {
-            let future = ra
-                .states()
-                .any(|q| c.is_alive(dfa.step(s, &q)));
+            let future = ra.states().any(|q| c.is_alive(dfa.step(s, &q)));
             if c.is_alive(s) && future {
                 map.insert(s, next_reg);
                 next_reg += 1;
@@ -107,7 +105,14 @@ pub fn eliminate_global_equalities(ext: &ExtendedAutomaton) -> Result<Prop6Resul
         })
     }
     for q in ra.states().filter(|&q| ra.is_initial(q)) {
-        intern(ra, &mut index, q, empty_active.clone(), &mut out, &mut states);
+        intern(
+            ra,
+            &mut index,
+            q,
+            empty_active.clone(),
+            &mut out,
+            &mut states,
+        );
     }
 
     let mut done = 0usize;
@@ -281,12 +286,7 @@ mod tests {
             // which a prefix has not fired yet.
             let p1_vals: Vec<Value> = run.configs[..run.configs.len() - 1]
                 .iter()
-                .filter(|c| {
-                    r.automaton
-                        .ra()
-                        .state_name(c.state)
-                        .starts_with("p1")
-                })
+                .filter(|c| r.automaton.ra().state_name(c.state).starts_with("p1"))
                 .map(|c| c.regs[0])
                 .collect();
             for w in p1_vals.windows(2) {

@@ -45,10 +45,7 @@ pub struct ExtendedProjection {
 
 /// Projects an extended automaton without a database onto its first `m`
 /// registers (Theorem 13; see the module docs for the supported fragment).
-pub fn project_extended(
-    ext: &ExtendedAutomaton,
-    m: u16,
-) -> Result<ExtendedProjection, CoreError> {
+pub fn project_extended(ext: &ExtendedAutomaton, m: u16) -> Result<ExtendedProjection, CoreError> {
     if !ext.ra().has_no_database() {
         return Err(CoreError::SchemaNotEmpty);
     }
@@ -153,8 +150,7 @@ mod tests {
     fn assert_faithful(ext: &ExtendedAutomaton, m: u16, len: usize, pool: &[Value]) {
         let db = Database::new(Schema::empty());
         let proj = project_extended(ext, m).unwrap();
-        let want =
-            simulate::projected_settled_traces(ext, &db, len, m as usize, pool, limits());
+        let want = simulate::projected_settled_traces(ext, &db, len, m as usize, pool, limits());
         let got =
             simulate::projected_settled_traces(&proj.view, &db, len, m as usize, pool, limits());
         assert_eq!(want, got, "length {len}");

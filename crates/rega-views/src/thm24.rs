@@ -46,13 +46,13 @@
 //!   runs either way — see `rega_core::enhanced`.
 
 use crate::lemma21::{self, FlowContext};
+use rega_automata::{Dfa, Nba};
 use rega_core::enhanced::{
     EnhancedAutomaton, FinitenessConstraint, PositionSelector, TupleInequality,
 };
 use rega_core::extended::ConstraintKind;
 use rega_core::transform::{complete_for_atoms, state_driven};
 use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
-use rega_automata::{Dfa, Nba};
 use rega_data::{Literal, RegIdx, Term};
 use std::collections::{BTreeSet, HashMap};
 
@@ -251,10 +251,7 @@ pub fn project_hiding_database(
 /// positive literal, plus — per register `r` — past-tainted values arriving
 /// at `h` in register `r` whose flow merges with `(h, i)`'s flow at or
 /// after `h`.
-fn adom_selector(
-    normalized: &RegisterAutomaton,
-    i: RegIdx,
-) -> Result<PositionSelector, CoreError> {
+fn adom_selector(normalized: &RegisterAutomaton, i: RegIdx) -> Result<PositionSelector, CoreError> {
     let ctx = FlowContext::new(normalized)?;
     let states: Vec<StateId> = normalized.states().collect();
     let k = normalized.k();
@@ -314,9 +311,9 @@ fn adom_selector(
         let mut index: HashMap<St, usize> = HashMap::new();
         let mut work: Vec<St> = Vec::new();
         let intern = |s: St,
-                          nba: &mut Nba<StateId>,
-                          work: &mut Vec<St>,
-                          index: &mut HashMap<St, usize>|
+                      nba: &mut Nba<StateId>,
+                      work: &mut Vec<St>,
+                      index: &mut HashMap<St, usize>|
          -> usize {
             if let Some(&id) = index.get(&s) {
                 return id;
@@ -431,9 +428,9 @@ fn adom_selector(
             let mut index: HashMap<St, usize> = HashMap::new();
             let mut work: Vec<St> = Vec::new();
             let intern = |s: St,
-                              nba: &mut Nba<StateId>,
-                              work: &mut Vec<St>,
-                              index: &mut HashMap<St, usize>|
+                          nba: &mut Nba<StateId>,
+                          work: &mut Vec<St>,
+                          index: &mut HashMap<St, usize>|
              -> usize {
                 if let Some(&id) = index.get(&s) {
                     return id;
@@ -583,6 +580,9 @@ fn tuple_selector(
         }
     }
 
+    /// Per-connection tracking payload: simulated state plus marked regs.
+    type Tracker = Option<(StateId, BTreeSet<u16>)>;
+
     /// Full NBA state.
     #[derive(Clone, PartialEq, Eq, Hash)]
     struct Sel {
@@ -592,7 +592,7 @@ fn tuple_selector(
         /// Pending y-term events for the next position: (conn, register).
         pending: Vec<(u8, u16)>,
         /// Per connection: state plus tracker data when Tracking.
-        conns: Vec<(ConnState, Option<(StateId, BTreeSet<u16>)>)>,
+        conns: Vec<(ConnState, Tracker)>,
         accept: bool,
     }
 
@@ -609,9 +609,9 @@ fn tuple_selector(
     let mut index: HashMap<Sel, usize> = HashMap::new();
     let mut work: Vec<Sel> = Vec::new();
     let intern = |s: Sel,
-                      nba: &mut Nba<(StateId, u32)>,
-                      work: &mut Vec<Sel>,
-                      index: &mut HashMap<Sel, usize>|
+                  nba: &mut Nba<(StateId, u32)>,
+                  work: &mut Vec<Sel>,
+                  index: &mut HashMap<Sel, usize>|
      -> usize {
         if let Some(&id) = index.get(&s) {
             return id;
@@ -655,8 +655,9 @@ fn tuple_selector(
             // 2. Anchor guesses: none / n here / n' here / both here —
             // independent of the mark, so computed once per state letter.
             // Enumerate literal choices for the guessed anchors.
-            let mut variants: Vec<(bool, bool, Vec<(u8, u16)>, Vec<(u8, u16)>)> =
-                vec![(false, false, Vec::new(), Vec::new())];
+            // (n guessed here, n' guessed here, n-events, n'-events)
+            type Variant = (bool, bool, Vec<(u8, u16)>, Vec<(u8, u16)>);
+            let mut variants: Vec<Variant> = vec![(false, false, Vec::new(), Vec::new())];
             {
                 if !st.n_done {
                     let mut more = Vec::new();
@@ -897,14 +898,8 @@ mod tests {
 
         let proj = project_hiding_database(&ra, 1, &Thm24Options::default()).unwrap();
         let empty_db = Database::new(Schema::empty());
-        let got = simulate::projected_settled_traces(
-            proj.view.ext(),
-            &empty_db,
-            4,
-            1,
-            &pool,
-            limits(),
-        );
+        let got =
+            simulate::projected_settled_traces(proj.view.ext(), &empty_db, 4, 1, &pool, limits());
         for trace in &want {
             assert!(
                 got.contains(trace),
@@ -951,11 +946,8 @@ mod tests {
         let mut exercised = false;
         // Follow any wired 6-cycle from an initial state.
         'outer: for p0 in ra2.states().filter(|&s| ra2.is_initial(s)) {
-            let mut paths: Vec<Vec<rega_core::TransId>> = ra2
-                .outgoing(p0)
-                .iter()
-                .map(|&t| vec![t])
-                .collect();
+            let mut paths: Vec<Vec<rega_core::TransId>> =
+                ra2.outgoing(p0).iter().map(|&t| vec![t]).collect();
             for _ in 1..6 {
                 let mut next = Vec::new();
                 for path in paths {
@@ -991,7 +983,10 @@ mod tests {
                 }
             }
         }
-        assert!(exercised, "need at least one candidate run to exercise the clash");
+        assert!(
+            exercised,
+            "need at least one candidate run to exercise the clash"
+        );
     }
 
     /// Differential test of the adom position selector against the class
@@ -1117,6 +1112,9 @@ mod ternary_tests {
                 }
             }
         }
-        assert!(exercised, "need a candidate run passing the plain constraints");
+        assert!(
+            exercised,
+            "need a candidate run passing the plain constraints"
+        );
     }
 }

@@ -101,8 +101,7 @@ mod tests {
         let db = Database::new(Schema::empty());
         let pool: Vec<Value> = (1..=3).map(Value).collect();
         for len in 1..=3 {
-            let want =
-                simulate::projected_settled_traces(&original, &db, len, 2, &pool, limits());
+            let want = simulate::projected_settled_traces(&original, &db, len, 2, &pool, limits());
             let got = simulate::projected_settled_traces(&view, &db, len, 2, &pool, limits());
             assert_eq!(want, got, "author view differs at length {len}");
         }

@@ -94,7 +94,9 @@ fn main() {
             0,
         );
         match proj.view.check_lasso_run(&empty_db, &run, Some(12)) {
-            Ok(()) => println!("\nalternating trace 0 1 0 1 …: accepted (some database supports it)"),
+            Ok(()) => {
+                println!("\nalternating trace 0 1 0 1 …: accepted (some database supports it)")
+            }
             Err(e) => println!("\nalternating trace rejected: {e}"),
         }
     }

@@ -68,7 +68,10 @@ fn main() {
     match verify(&ext, &phi, &VerifyOptions::default()).expect("decidable") {
         VerifyResult::Holds => println!("== verification == G (x2 = y2) holds"),
         VerifyResult::CounterExample(w) => {
-            println!("== verification == counterexample found: {}", w.prefix_run.configs.len())
+            println!(
+                "== verification == counterexample found: {}",
+                w.prefix_run.configs.len()
+            )
         }
     }
 

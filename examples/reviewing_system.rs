@@ -8,7 +8,7 @@
 
 use rega_analysis::lr::{is_lr_bounded, LrOptions};
 use rega_workflow::{
-    abstract_model, database_model, sample_database, views::with_views, views::project_run,
+    abstract_model, database_model, sample_database, views::project_run, views::with_views,
 };
 
 fn main() {

@@ -47,9 +47,8 @@ fn control_equals_scontrol() {
                 &EmptinessOptions::default(),
             )
             .unwrap();
-            let w = w.unwrap_or_else(|| {
-                panic!("{name}: symbolic trace {control} must be realizable")
-            });
+            let w =
+                w.unwrap_or_else(|| panic!("{name}: symbolic trace {control} must be realizable"));
             assert!(w.prefix_run.validate(ext.ra(), &w.database).is_ok());
         }
     }
@@ -110,8 +109,7 @@ fn prop6_equality_elimination() {
     let pool = vec![Value(1), Value(2)];
     for len in 1..=3 {
         let want = simulate::projected_settled_traces(&ext, &db, len, 1, &pool, limits());
-        let got =
-            simulate::projected_settled_traces(&r.automaton, &db, len, 1, &pool, limits());
+        let got = simulate::projected_settled_traces(&r.automaton, &db, len, 1, &pool, limits());
         assert_eq!(want, got, "length {len}");
     }
 }
@@ -206,12 +204,16 @@ fn theorem13_projection_closure() {
 /// Theorem 18: LR-boundedness is decidable — the paper's Example 16 pair.
 #[test]
 fn theorem18_lr_boundedness() {
-    assert!(is_lr_bounded(&paper::example16_a(), &LrOptions::default())
-        .unwrap()
-        .bounded);
-    assert!(!is_lr_bounded(&paper::example16_a_prime(), &LrOptions::default())
-        .unwrap()
-        .bounded);
+    assert!(
+        is_lr_bounded(&paper::example16_a(), &LrOptions::default())
+            .unwrap()
+            .bounded
+    );
+    assert!(
+        !is_lr_bounded(&paper::example16_a_prime(), &LrOptions::default())
+            .unwrap()
+            .bounded
+    );
 }
 
 /// Theorem 19 (via Prop 22's streaming engine): on an LR-bounded automaton
@@ -279,10 +281,9 @@ fn example23_database_projection_argument() {
     assert!(over_d);
     // …but not over D′ = D without the edge.
     db.remove(e, &[c, d0]);
-    let over_d_prime =
-        simulate::find_lasso_with_projection(&ext, &db, &probe, &pool, 10, limits())
-            .unwrap()
-            .is_some();
+    let over_d_prime = simulate::find_lasso_with_projection(&ext, &db, &probe, &pool, 10, limits())
+        .unwrap()
+        .is_some();
     assert!(!over_d_prime, "no node points at the even positions");
 }
 

@@ -19,20 +19,21 @@ fn term_strategy(k: u16) -> impl Strategy<Value = Term> {
 }
 
 fn literal_strategy(k: u16) -> impl Strategy<Value = Literal> {
-    (term_strategy(k), term_strategy(k), prop::bool::ANY)
-        .prop_map(|(s, t, eq)| if eq { Literal::eq(s, t) } else { Literal::neq(s, t) })
+    (term_strategy(k), term_strategy(k), prop::bool::ANY).prop_map(|(s, t, eq)| {
+        if eq {
+            Literal::eq(s, t)
+        } else {
+            Literal::neq(s, t)
+        }
+    })
 }
 
 fn type_strategy(k: u16) -> impl Strategy<Value = SigmaType> {
-    prop::collection::vec(literal_strategy(k), 0..5)
-        .prop_map(move |lits| SigmaType::new(k, lits))
+    prop::collection::vec(literal_strategy(k), 0..5).prop_map(move |lits| SigmaType::new(k, lits))
 }
 
 fn regex_strategy() -> impl Strategy<Value = Regex<u8>> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        (0u8..3).prop_map(Regex::Sym),
-    ];
+    let leaf = prop_oneof![Just(Regex::Epsilon), (0u8..3).prop_map(Regex::Sym),];
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
@@ -43,20 +44,14 @@ fn regex_strategy() -> impl Strategy<Value = Regex<u8>> {
 }
 
 fn ltl_strategy() -> impl Strategy<Value = Ltl<u8>> {
-    let leaf = prop_oneof![
-        Just(Ltl::True),
-        (0u8..2).prop_map(Ltl::Prop),
-    ];
+    let leaf = prop_oneof![Just(Ltl::True), (0u8..2).prop_map(Ltl::Prop),];
     leaf.prop_recursive(3, 10, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|f| Ltl::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ltl::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ltl::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|f| Ltl::Next(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ltl::Until(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::Until(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|f| Ltl::Finally(Box::new(f))),
             inner.prop_map(|f| Ltl::Globally(Box::new(f))),
         ]
@@ -271,7 +266,7 @@ proptest! {
         let mut monitor = ConstraintMonitor::new(&ext);
         let mut monitor_ok = true;
         for (s, v) in states.iter().zip(values.iter()) {
-            if monitor.step(*s, &[*v]).is_some() {
+            if monitor.step(&ext, *s, &[*v]).is_some() {
                 monitor_ok = false;
                 break;
             }

@@ -1,0 +1,216 @@
+//! Differential test: the sharded streaming engine must report exactly the
+//! per-session verdicts that the batch path (walking each session's events
+//! sequentially with `rega_core`'s transition relation and
+//! `ConstraintMonitor`) produces — for random interleaved multi-session
+//! streams, including sessions that start late (out-of-order arrival
+//! relative to each other) and sessions evicted mid-stream by a terminal
+//! event with trailing post-eviction traffic.
+
+use proptest::prelude::*;
+use rega_core::monitor::ConstraintMonitor;
+use rega_core::spec::parse_spec;
+use rega_core::ExtendedAutomaton;
+use rega_data::{Database, Schema, Value};
+use rega_stream::{CompiledSpec, Engine, EngineConfig, Event, SessionStatus};
+use std::sync::Arc;
+
+/// The monitored specification: two registers, nondeterministic control,
+/// a σ-type restriction (`p → p` keeps register 1), and a global equality
+/// constraint over factors `p p p`, so the incremental monitor genuinely
+/// participates in the verdicts.
+fn spec_text() -> &'static str {
+    "\
+registers 2
+state p init accept
+state q accept
+trans p -> p : x1 = y1
+trans p -> q :
+trans q -> p :
+trans q -> q : x2 != y2
+constraint eq 1 1 : p p p
+"
+}
+
+/// One session's event, pre-demultiplexed.
+#[derive(Clone, Debug)]
+enum SessEvent {
+    Step(&'static str, Vec<Value>),
+    End,
+}
+
+/// Coarse verdict for comparison (the engine's kinds are richer, but the
+/// batch reference is deliberately built from `rega_core` primitives only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    Active,
+    Ended,
+    Violated,
+}
+
+/// The batch path: walk one session's events in order against the raw
+/// automaton — initial-state membership, transition-relation membership
+/// via `SigmaType::satisfied_by`, and a `ConstraintMonitor` — with no
+/// engine code involved. Returns the verdict and how many events the
+/// session consumed (events after eviction are not consumed).
+fn batch_verdict(ext: &ExtendedAutomaton, db: &Database, events: &[SessEvent]) -> (Verdict, u64) {
+    let ra = ext.ra();
+    let mut monitor = ConstraintMonitor::new(ext);
+    let mut cur: Option<(rega_core::StateId, Vec<Value>)> = None;
+    let mut consumed = 0u64;
+    for ev in events {
+        consumed += 1;
+        match ev {
+            SessEvent::End => return (Verdict::Ended, consumed),
+            SessEvent::Step(state, regs) => {
+                let Some(sid) = ra.state_by_name(state) else {
+                    return (Verdict::Violated, consumed);
+                };
+                let ok = match &cur {
+                    None => ra.initial_states().any(|s| s == sid),
+                    Some((from, pre)) => ra.outgoing(*from).iter().any(|&t| {
+                        let tr = ra.transition(t);
+                        tr.to == sid && tr.ty.satisfied_by(db, pre, regs)
+                    }),
+                };
+                if !ok || monitor.step(ext, sid, regs).is_some() {
+                    return (Verdict::Violated, consumed);
+                }
+                cur = Some((sid, regs.clone()));
+            }
+        }
+    }
+    (Verdict::Active, consumed)
+}
+
+fn coarse(status: &SessionStatus) -> Verdict {
+    match status {
+        SessionStatus::Active => Verdict::Active,
+        SessionStatus::Ended => Verdict::Ended,
+        SessionStatus::Violated(_) => Verdict::Violated,
+    }
+}
+
+/// A generated session: its step events, and an optional position at which
+/// a terminal event is spliced in (events after it exercise the
+/// post-eviction path).
+#[derive(Clone, Debug)]
+struct GenSession {
+    steps: Vec<(bool, u64, u64)>, // (state is q, reg1, reg2)
+    end_at: usize,                // ≥ steps.len() means "never ends"
+}
+
+impl GenSession {
+    fn events(&self) -> Vec<SessEvent> {
+        let mut out = Vec::new();
+        for (i, &(is_q, r1, r2)) in self.steps.iter().enumerate() {
+            if i == self.end_at {
+                out.push(SessEvent::End);
+            }
+            let state = if is_q { "q" } else { "p" };
+            out.push(SessEvent::Step(state, vec![Value(r1), Value(r2)]));
+        }
+        // `end_at == len` closes the session after its last step;
+        // `end_at > len` leaves it open.
+        if self.end_at == self.steps.len() {
+            out.push(SessEvent::End);
+        }
+        out
+    }
+}
+
+fn session_strategy() -> impl Strategy<Value = GenSession> {
+    (
+        prop::collection::vec((proptest::bool::ANY.boxed(), 0u64..3, 0u64..3), 1..9),
+        0usize..12,
+    )
+        .prop_map(|(steps, end_at)| GenSession { steps, end_at })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_agrees_with_batch_path(
+        sessions in prop::collection::vec(session_strategy(), 1..6),
+        picks in prop::collection::vec(0usize..6, 0..64),
+        shards in 1usize..5,
+        workers in 1usize..5,
+    ) {
+        let ext = parse_spec(spec_text()).unwrap();
+        let db = Database::new(Schema::empty());
+
+        // Batch path, per session in isolation.
+        let expected: Vec<(Verdict, u64)> = sessions
+            .iter()
+            .map(|s| batch_verdict(&ext, &db, &s.events()))
+            .collect();
+
+        // Streaming path: interleave all sessions' events using the
+        // generated picks (sessions therefore start at arbitrary points of
+        // the global stream), then drain round-robin.
+        let spec = Arc::new(
+            CompiledSpec::compile(ext, db, None).unwrap()
+        );
+        let engine = Engine::start(spec, EngineConfig {
+            shards,
+            workers,
+            queue_capacity: 8,
+            max_view_frontier: 8,
+        });
+        let mut queues: Vec<std::collections::VecDeque<SessEvent>> = sessions
+            .iter()
+            .map(|s| s.events().into())
+            .collect();
+        let submit = |engine: &Engine, sess: usize, ev: SessEvent| {
+            let session = format!("s{sess}");
+            engine.submit(match ev {
+                SessEvent::End => Event::End { session },
+                SessEvent::Step(state, regs) => Event::Step {
+                    session,
+                    state: state.to_string(),
+                    regs,
+                },
+            });
+        };
+        for &p in &picks {
+            let nonempty: Vec<usize> = (0..queues.len())
+                .filter(|&i| !queues[i].is_empty())
+                .collect();
+            if nonempty.is_empty() {
+                break;
+            }
+            let sess = nonempty[p % nonempty.len()];
+            let ev = queues[sess].pop_front().unwrap();
+            submit(&engine, sess, ev);
+        }
+        for (sess, queue) in queues.iter_mut().enumerate() {
+            while let Some(ev) = queue.pop_front() {
+                submit(&engine, sess, ev);
+            }
+        }
+        let report = engine.finish();
+
+        prop_assert_eq!(report.outcomes.len(), sessions.len());
+        for (sess, &(want, want_events)) in expected.iter().enumerate() {
+            let name = format!("s{sess}");
+            let outcome = report
+                .outcomes
+                .iter()
+                .find(|o| o.session == name)
+                .expect("every submitted session is reported");
+            prop_assert_eq!(
+                coarse(&outcome.status),
+                want,
+                "session {} verdict mismatch (outcome {:?})",
+                sess,
+                outcome
+            );
+            prop_assert_eq!(
+                outcome.events,
+                want_events,
+                "session {} consumed-event count mismatch",
+                sess
+            );
+        }
+    }
+}

@@ -133,11 +133,7 @@ fn counterexamples_are_real_runs() {
     // When verification fails, the returned witness is a genuine run of the
     // product; its projection to the original registers is a run prefix of
     // the original automaton.
-    let phi = LtlFo::new(
-        "G stable",
-        [("stable", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))],
-    )
-    .unwrap();
+    let phi = LtlFo::new("G stable", [("stable", Qf::Eq(QfTerm::x(0), QfTerm::y(0)))]).unwrap();
     let mut found = 0;
     for seed in 0..10 {
         let ra = random_automaton(&params(), seed);

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small timing harness with the API surface the E1–E13 benches
+//! use: [`Criterion`] with `sample_size` / `measurement_time` /
+//! `warm_up_time` / `configure_from_args`, `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and
+//! `Bencher::iter`.
+//!
+//! Reporting mimics criterion's `time: [lo mid hi]` lines (min, median of
+//! sample means, max) so the EXPERIMENTS.md tables keep their shape. There
+//! is no statistical regression analysis — numbers are honest wall-clock
+//! means over the configured samples.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a parameterized benchmark (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented in the stub.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            cfg: self.clone(),
+            result: None,
+        };
+        f(&mut b);
+        b.report(&id.to_string());
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            cfg: self.clone(),
+            result: None,
+        };
+        f(&mut b, input);
+        b.report(&id.to_string());
+    }
+
+    /// Final summary hook (the stub reports per-benchmark as it goes).
+    pub fn final_summary(self) {}
+}
+
+/// Measured statistics of one benchmark (seconds per iteration).
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    lo: f64,
+    mid: f64,
+    hi: f64,
+}
+
+/// Passed to the closure given to `bench_function` / `bench_with_input`.
+pub struct Bencher {
+    cfg: Criterion,
+    result: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Pick iterations per sample so samples fill the measurement window.
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / est.max(1e-9)).ceil() as u64).clamp(1, 100_000_000);
+
+        let mut means: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            means.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some(Stats {
+            lo: means[0],
+            mid: means[means.len() / 2],
+            hi: means[means.len() - 1],
+        });
+    }
+
+    fn report(&self, id: &str) {
+        let Some(s) = self.result else {
+            println!("{id:<40} (no measurement)");
+            return;
+        };
+        println!(
+            "{id:<40} time:   [{} {} {}]",
+            fmt_time(s.lo),
+            fmt_time(s.mid),
+            fmt_time(s.hi)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut ran = false;
+        c.bench_function("stub/smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        c.bench_with_input(BenchmarkId::new("stub/param", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with('s'));
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, deterministic implementation of the `rand 0.8` API
+//! surface it actually uses: [`Rng::gen_range`] / [`Rng::gen_bool`] over a
+//! [`SeedableRng`]-constructed [`rngs::StdRng`].
+//!
+//! The generator is splitmix64 — not cryptographic, but statistically fine
+//! for test-input and workload generation, and fully deterministic per
+//! seed (which the repo's generators rely on anyway via `seed_from_u64`).
+
+/// Uniform sampling from a half-open range, for the primitive integer
+/// types the workspace draws from.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[lo, hi)` given a raw 64-bit random draw.
+    fn sample_from(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as u128) - (lo as u128);
+                lo + ((raw as u128) % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for i32 {
+    fn sample_from(raw: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = (hi as i128) - (lo as i128);
+        (lo as i128 + (raw as i128).rem_euclid(span)) as i32
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample_from(raw: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = (hi as i128) - (lo as i128);
+        (lo as i128 + (raw as i128).rem_euclid(span)) as i64
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_from(self.next_u64(), range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits, compared against p.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Constructing a generator from seed material (subset of
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // One throwaway draw decorrelates small seeds.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+        }
+        let v16: u16 = rng.gen_range(0..5u16);
+        assert!(v16 < 5);
+    }
+
+    #[test]
+    fn gen_bool_hits_both_sides() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits), "suspicious bias: {hits}");
+    }
+}

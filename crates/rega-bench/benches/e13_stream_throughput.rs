@@ -58,9 +58,9 @@ fn build_stream() -> Vec<Event> {
 }
 
 fn run_stream(spec: &Arc<CompiledSpec>, config: EngineConfig, stream: &[Event]) -> usize {
-    let engine = Engine::start(Arc::clone(spec), config);
+    let mut engine = Engine::start(Arc::clone(spec), config);
     for event in stream {
-        engine.submit(event.clone());
+        engine.submit(event.clone()).expect("submit");
     }
     let report = engine.finish();
     assert!(
@@ -92,6 +92,7 @@ fn main() {
         workers,
         queue_capacity: 1024,
         max_view_frontier: 64,
+        ..EngineConfig::default()
     };
 
     // Sweep 1: workers at fixed shard count (8).

@@ -1,0 +1,201 @@
+//! E14: cost of the determinism and fault-tolerance machinery.
+//!
+//! Reuses E13's workload (256 reviewing-workflow sessions, interleaved
+//! round-robin) and measures three things:
+//!
+//! 1. **Threaded, no faults** — the same configuration E13 reports as
+//!    "1 worker / 8 shards". This doubles as the E13 regression guard:
+//!    PR 2 threaded the fault hooks through the hot path (envelope
+//!    clone-stash, injector draws), and this number must stay within 10%
+//!    of the E13 baseline recorded in EXPERIMENTS.md.
+//! 2. **SimScheduler, no faults** — the single-threaded deterministic
+//!    scheduler on the identical stream: the price of reproducibility
+//!    (RNG-driven interleaving, simulated clock, per-delivery jitter
+//!    draws) relative to the threaded engine.
+//! 3. **Faults active** — threaded and simulated runs under a lively
+//!    plan (panics with respawn, stalls, duplicated terminal events):
+//!    what recovery actually costs when it fires.
+//!
+//! Single-core caveat: the benchmark container exposes one CPU, so the
+//! threaded numbers measure the engine's bookkeeping, not parallel
+//! speedup; see EXPERIMENTS.md E13/E14.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rega_data::{Database, Schema, Value};
+use rega_stream::{CompiledSpec, Engine, EngineConfig, Event, FaultPlan, SessionStatus};
+use rega_workflow::abstract_model;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SESSIONS: usize = 256;
+const REVIEW_ROUNDS: usize = 3;
+
+fn session_events(id: usize) -> Vec<Event> {
+    let session = format!("paper-{id}");
+    let base = (id as u64) * 8;
+    let (p, a, r1, r2) = (base, base + 1, base + 2, base + 3);
+    let step = |state: &str, regs: [u64; 3]| Event::Step {
+        session: session.clone(),
+        state: state.to_string(),
+        regs: regs.iter().map(|&v| Value(v)).collect(),
+    };
+    let mut out = vec![step("start", [p, a, p]), step("submitted", [p, a, p])];
+    for round in 0..REVIEW_ROUNDS {
+        let reviewer = if round % 2 == 0 { r1 } else { r2 };
+        out.push(step("under_review", [p, a, reviewer]));
+        out.push(step("under_review", [p, a, reviewer]));
+        if round + 1 < REVIEW_ROUNDS {
+            out.push(step("revising", [p, a, p]));
+        }
+    }
+    out.push(step("accepted", [p, a, r1]));
+    out.push(Event::End { session });
+    out
+}
+
+fn build_stream() -> Vec<Event> {
+    let per_session: Vec<Vec<Event>> = (0..SESSIONS).map(session_events).collect();
+    let longest = per_session.iter().map(Vec::len).max().unwrap_or(0);
+    let mut stream = Vec::new();
+    for pos in 0..longest {
+        for events in &per_session {
+            if let Some(e) = events.get(pos) {
+                stream.push(e.clone());
+            }
+        }
+    }
+    stream
+}
+
+/// A lively but survivable plan: every respawn succeeds and the
+/// quarantine budget is never exhausted, so verdicts stay Ended.
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 42,
+        panic_prob: 0.001,
+        stall_prob: 0.001,
+        stall_ns: 50_000,
+        dup_end_prob: 0.05,
+        ..FaultPlan::none()
+    }
+}
+
+fn config(fault: FaultPlan, quarantine_cap: u64) -> EngineConfig {
+    EngineConfig {
+        shards: 8,
+        workers: 1,
+        queue_capacity: 1024,
+        max_view_frontier: 64,
+        quarantine_cap,
+        fault,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_threaded(spec: &Arc<CompiledSpec>, config: EngineConfig, stream: &[Event]) -> usize {
+    let mut engine = Engine::start(Arc::clone(spec), config);
+    for event in stream {
+        engine.submit(event.clone()).expect("submit");
+    }
+    finish_checked(engine)
+}
+
+fn run_sim(spec: &Arc<CompiledSpec>, config: EngineConfig, seed: u64, stream: &[Event]) -> usize {
+    let mut engine = Engine::start_sim(Arc::clone(spec), config, seed);
+    for event in stream {
+        engine.submit(event.clone()).expect("submit");
+    }
+    finish_checked(engine)
+}
+
+fn finish_checked(engine: Engine) -> usize {
+    let report = engine.finish();
+    assert!(
+        report
+            .outcomes
+            .iter()
+            .all(|o| o.status == SessionStatus::Ended),
+        "the workload must survive as a legal trace for every session"
+    );
+    report.outcomes.len()
+}
+
+fn main() {
+    let mut c: Criterion = rega_bench::criterion();
+    let workflow = abstract_model();
+    let ext = rega_core::ExtendedAutomaton::new(workflow.automaton.clone());
+    let db = Database::new(Schema::empty());
+    let spec = Arc::new(CompiledSpec::compile(ext, db, None).expect("compiles"));
+    let stream = build_stream();
+
+    println!(
+        "e14: determinism/fault-machinery overhead, {} sessions, {} events/iteration",
+        SESSIONS,
+        stream.len()
+    );
+
+    c.bench_with_input(
+        BenchmarkId::new("e14/threaded", "no-faults"),
+        &(),
+        |b, _| b.iter(|| run_threaded(black_box(&spec), config(FaultPlan::none(), 0), &stream)),
+    );
+    c.bench_with_input(BenchmarkId::new("e14/sim", "no-faults"), &(), |b, _| {
+        b.iter(|| run_sim(black_box(&spec), config(FaultPlan::none(), 0), 7, &stream))
+    });
+    c.bench_with_input(BenchmarkId::new("e14/threaded", "faults"), &(), |b, _| {
+        b.iter(|| run_threaded(black_box(&spec), config(fault_plan(), 1_000_000), &stream))
+    });
+    c.bench_with_input(BenchmarkId::new("e14/sim", "faults"), &(), |b, _| {
+        b.iter(|| {
+            run_sim(
+                black_box(&spec),
+                config(fault_plan(), 1_000_000),
+                7,
+                &stream,
+            )
+        })
+    });
+
+    // Direct events/sec table (median of 5 runs) for EXPERIMENTS.md. The
+    // first row reuses E13's "1 worker / 8 shards" configuration verbatim
+    // and is the regression guard: within 10% of the E13 baseline.
+    println!("e14: events/sec (median of 5 runs)");
+    type Runner = Box<dyn Fn() -> usize>;
+    let mut table: Vec<(&str, Runner)> = Vec::new();
+    let (s1, s2, s3, s4) = (spec.clone(), spec.clone(), spec.clone(), spec.clone());
+    let (t1, t2, t3, t4) = (
+        stream.clone(),
+        stream.clone(),
+        stream.clone(),
+        stream.clone(),
+    );
+    table.push((
+        "threaded, no faults (=e13)",
+        Box::new(move || run_threaded(&s1, config(FaultPlan::none(), 0), &t1)),
+    ));
+    table.push((
+        "sim, no faults",
+        Box::new(move || run_sim(&s2, config(FaultPlan::none(), 0), 7, &t2)),
+    ));
+    table.push((
+        "threaded, faults active",
+        Box::new(move || run_threaded(&s3, config(fault_plan(), 1_000_000), &t3)),
+    ));
+    table.push((
+        "sim, faults active",
+        Box::new(move || run_sim(&s4, config(fault_plan(), 1_000_000), 7, &t4)),
+    ));
+    for (label, run) in &table {
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                run();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let eps = stream.len() as f64 / times[2];
+        println!("  {label:<28} {:>12.0} events/sec", eps);
+    }
+    c.final_summary();
+}

@@ -9,8 +9,14 @@
 //! rega dot <spec>                   Graphviz export
 //! rega echo <spec>                  parse and re-render the spec
 //! rega monitor <spec> --events <file.jsonl> [--shards N] [--workers N]
-//!                     [--view M]    stream multi-session monitoring
+//!                     [--view M] [--seed N] [--submit-timeout-ms N]
+//!                     [--quarantine-cap N]
+//!                                   stream multi-session monitoring
 //! ```
+//!
+//! With `--seed`, `monitor` runs the deterministic simulation scheduler
+//! (single-threaded, seeded interleavings, simulated clock) instead of the
+//! worker pool — the same events and seed always produce the same summary.
 //!
 //! Specs use the format of `rega_core::spec`. LTL-FO propositions are
 //! quantifier-free formulas in the same literal syntax, e.g.
@@ -30,7 +36,9 @@ fn usage() -> ExitCode {
         "usage:\n  rega empty <spec-file>\n  rega verify <spec-file> <ltl-skeleton> name=<qf> …\n  \
          rega project <spec-file> <m>\n  rega lr <spec-file>\n  rega dot <spec-file>\n  \
          rega echo <spec-file>\n  \
-         rega monitor <spec-file> --events <file.jsonl|-> [--shards N] [--workers N] [--view M]"
+         rega monitor <spec-file> --events <file.jsonl|-> [--shards N] [--workers N] [--view M]\n  \
+         {:12}[--seed N] [--submit-timeout-ms N] [--quarantine-cap N]",
+        ""
     );
     ExitCode::from(2)
 }
@@ -221,6 +229,7 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
     let mut config = EngineConfig::default();
     let mut events_path: Option<String> = None;
     let mut view_m: Option<u16> = None;
+    let mut seed: Option<u64> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -245,6 +254,24 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
                         .map_err(|_| "--view must be a register count".to_string())?,
                 );
             }
+            "--seed" => {
+                seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be a number".to_string())?,
+                );
+            }
+            "--submit-timeout-ms" => {
+                let ms: u64 = value("--submit-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--submit-timeout-ms must be a number".to_string())?;
+                config.submit_timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--quarantine-cap" => {
+                config.quarantine_cap = value("--quarantine-cap")?
+                    .parse()
+                    .map_err(|_| "--quarantine-cap must be a number".to_string())?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -255,7 +282,13 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
     let ext = load(spec_path)?;
     let db = rega_data::Database::new(ext.ra().schema().clone());
     let spec = CompiledSpec::compile(ext, db, view_m).map_err(|e| e.to_string())?;
-    let engine = Engine::start(std::sync::Arc::new(spec), config);
+    let registers = spec.registers();
+    let spec = std::sync::Arc::new(spec);
+    let mut engine = match seed {
+        // A seed selects the deterministic simulation scheduler.
+        Some(seed) => Engine::start_sim(spec, config, seed),
+        None => Engine::start(spec, config),
+    };
 
     let reader: Box<dyn BufRead> = if events_path == "-" {
         Box::new(std::io::stdin().lock())
@@ -265,13 +298,24 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         Box::new(std::io::BufReader::new(file))
     };
     let mut parse_errors: u64 = 0;
-    for (no, line) in reader.lines().enumerate() {
+    let mut submit_errors: u64 = 0;
+    'stream: for (no, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("read error in {events_path}: {e}"))?;
         if line.trim().is_empty() {
             continue;
         }
-        match rega_stream::parse_event(&line) {
-            Ok(event) => engine.submit(event),
+        // Arity is validated at the edge: a step event with the wrong
+        // tuple width never reaches a shard queue.
+        match rega_stream::parse_event_checked(&line, registers) {
+            Ok(event) => {
+                if let Err(e) = engine.submit(event) {
+                    submit_errors += 1;
+                    eprintln!("line {}: submit failed: {e}", no + 1);
+                    if e == rega_stream::SubmitError::WorkersDead {
+                        break 'stream;
+                    }
+                }
+            }
             Err(e) => {
                 parse_errors += 1;
                 eprintln!("line {}: {e}", no + 1);
@@ -291,17 +335,25 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         }
     }
     let violated = violations.len();
+    let metrics = &report.metrics;
     let summary = serde_json::json!({
         "sessions": report.outcomes.len(),
         "violations": serde_json::Value::Array(violations),
         "parse_errors": parse_errors,
-        "metrics": report.metrics.snapshot(),
+        "submit_errors": submit_errors,
+        "quarantined": metrics
+            .events_quarantined
+            .load(std::sync::atomic::Ordering::Relaxed),
+        "worker_panics": metrics
+            .worker_panics
+            .load(std::sync::atomic::Ordering::Relaxed),
+        "metrics": metrics.snapshot(),
     });
     println!(
         "{}",
         serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
     );
-    if violated > 0 || parse_errors > 0 {
+    if violated > 0 || parse_errors > 0 || submit_errors > 0 {
         Ok(ExitCode::from(1))
     } else {
         Ok(ExitCode::SUCCESS)

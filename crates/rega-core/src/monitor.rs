@@ -42,6 +42,11 @@ pub struct Violation {
 /// source values of all active runs currently in DFA state `s`.
 type Slots = Vec<Option<BTreeSet<Value>>>;
 
+/// Plain-data form of a monitor's live configuration, as produced by
+/// [`ConstraintMonitor::export_slots`]: per constraint, the sparse list of
+/// `(dfa_state, stored_values)` slots.
+pub type ExportedSlots = Vec<Vec<(usize, Vec<Value>)>>;
+
 /// The monitor state for all constraints of an extended automaton.
 ///
 /// The monitor is a pure state machine: it stores no reference to the
@@ -161,6 +166,52 @@ impl ConstraintMonitor {
         }
     }
 
+    /// Exports the live configuration as plain data: per constraint, the
+    /// sparse list of `(dfa_state, stored_values)` slots. Together with
+    /// [`from_slots`](Self::from_slots) this gives monitor snapshot /
+    /// restore without committing this crate to a serialization format —
+    /// callers (the `rega-stream` engine) encode the nested vectors in
+    /// whatever wire format they use.
+    pub fn export_slots(&self) -> ExportedSlots {
+        self.active
+            .iter()
+            .map(|slots| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, slot)| {
+                        slot.as_ref()
+                            .map(|vals| (s, vals.iter().copied().collect()))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rebuilds a monitor from [`export_slots`](Self::export_slots) data.
+    /// Returns `None` when the data does not fit `ext` (wrong constraint
+    /// count or an out-of-range DFA state), so corrupted snapshots are
+    /// rejected instead of panicking later.
+    pub fn from_slots(
+        ext: &ExtendedAutomaton,
+        exported: &[Vec<(usize, Vec<Value>)>],
+    ) -> Option<Self> {
+        let mut monitor = Self::new(ext);
+        if exported.len() != monitor.active.len() {
+            return None;
+        }
+        for (cid, constraint_slots) in exported.iter().enumerate() {
+            let size = monitor.active[cid].len();
+            for (s, vals) in constraint_slots {
+                if *s >= size {
+                    return None;
+                }
+                monitor.active[cid][*s] = Some(vals.iter().copied().collect());
+            }
+        }
+        Some(monitor)
+    }
+
     /// Total number of active (state, value) pairs — used by the streaming
     /// ablation experiment E12 and the engine's memory accounting.
     pub fn active_size(&self) -> usize {
@@ -265,6 +316,34 @@ mod tests {
             assert!(m.step(&ext, StateId(0), &[Value(v)]).is_none());
         }
         assert!(m.active_size() <= 1); // only the freshly spawned run lives
+    }
+
+    #[test]
+    fn export_import_round_trips_mid_run() {
+        let ext = every_other_equal();
+        let q = StateId(0);
+        let mut m = ConstraintMonitor::new(&ext);
+        for v in 0..5 {
+            assert!(m.step(&ext, q, &[Value(v)]).is_none() || v >= 2);
+            let restored = ConstraintMonitor::from_slots(&ext, &m.export_slots())
+                .expect("own export must round-trip");
+            assert_eq!(m.fingerprint(), restored.fingerprint());
+        }
+        // The restored monitor behaves identically from here on.
+        let mut restored =
+            ConstraintMonitor::from_slots(&ext, &m.export_slots()).expect("round-trip");
+        for v in [7u64, 7, 9, 2] {
+            assert_eq!(
+                m.step(&ext, q, &[Value(v)]),
+                restored.step(&ext, q, &[Value(v)]),
+                "restored monitor diverged"
+            );
+        }
+        // Corrupt shapes are rejected, not panicked on.
+        assert!(ConstraintMonitor::from_slots(&ext, &[]).is_none());
+        assert!(
+            ConstraintMonitor::from_slots(&ext, &[vec![(usize::MAX, vec![Value(1)])]]).is_none()
+        );
     }
 
     #[test]

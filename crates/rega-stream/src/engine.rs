@@ -1,42 +1,82 @@
-//! The sharded worker-pool engine.
+//! The engine facade and the shard-processing core shared by every
+//! scheduler.
 //!
-//! Topology: sessions are hashed onto `shards` shards; each shard has one
-//! bounded [`mpsc::sync_channel`] queue and is consumed by exactly *one*
-//! worker thread, so events of one session are always processed in
-//! submission order. With fewer workers than shards, worker `w` owns
-//! shards `w, w + workers, w + 2·workers, …` and polls them round-robin.
+//! Topology (threaded scheduler): sessions are hashed onto `shards` shards;
+//! each shard has one bounded queue consumed by exactly *one* worker
+//! thread, so events of one session are always processed in submission
+//! order. With fewer workers than shards, worker `w` owns shards
+//! `w, w + workers, w + 2·workers, …` and polls them round-robin.
 //!
-//! Flow control: [`Engine::submit`] blocks when the target shard's queue
-//! is full (producer back-pressure) rather than buffering unboundedly.
-//! Shutdown: [`Engine::finish`] drops the senders; each worker drains its
-//! queues until they disconnect, then reports its shard states.
+//! Execution is abstracted behind the [`Scheduler`](crate::scheduler::Scheduler)
+//! trait: [`Engine::start`] runs the production worker pool
+//! ([`ThreadedScheduler`](crate::scheduler::ThreadedScheduler)),
+//! [`Engine::start_sim`] runs the single-threaded deterministic
+//! [`SimScheduler`](crate::sim::SimScheduler) whose interleavings, clock,
+//! and injected faults all derive from one seed.
+//!
+//! Flow control: [`Engine::submit`] back-pressures when the target shard's
+//! queue is full rather than buffering unboundedly, and — with
+//! [`EngineConfig::submit_timeout`] set — gives up with a typed
+//! [`SubmitError`] instead of blocking forever.
+//!
+//! Failure semantics (see the README for the full contract):
+//!
+//! * Transport-faulty events (wrong register arity, unknown control state,
+//!   traffic for an evicted session) are **quarantined** when
+//!   [`EngineConfig::quarantine_cap`] is non-zero: counted, dropped, and
+//!   the touched session's state left exactly as it was. A session
+//!   accumulating more than `quarantine_cap` such events is evicted as
+//!   [`ViolationKind::QuarantineOverflow`]. With a zero cap (the default)
+//!   the engine is strict: a transport-faulty step event violates its
+//!   session, exactly as in the pre-fault-injection engine.
+//! * Worker panics are caught; the worker respawns in place with its shard
+//!   state intact and retries the in-flight event once. A second panic on
+//!   the same event quarantines it and evicts its session as
+//!   [`ViolationKind::WorkerPanic`].
 
 use crate::event::Event;
+use crate::fault::FaultPlan;
 use crate::metrics::EngineMetrics;
-use crate::session::{Session, SessionStatus};
+use crate::scheduler::{Scheduler, ThreadedScheduler};
+use crate::session::{Session, SessionStatus, ViolationKind};
+use crate::sim::SimScheduler;
+use crate::snapshot::SnapshotError;
 use crate::spec::CompiledSpec;
+use serde_json::Value as Json;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Engine sizing knobs.
-#[derive(Clone, Copy, Debug)]
+/// Engine sizing and failure-semantics knobs.
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Number of shards (session partitions). At least 1.
     pub shards: usize,
     /// Number of worker threads. Clamped to `shards` (extra workers would
     /// own no shard).
     pub workers: usize,
-    /// Bounded capacity of each shard queue; a full queue blocks
+    /// Bounded capacity of each shard queue; a full queue back-pressures
     /// [`Engine::submit`].
     pub queue_capacity: usize,
     /// Frontier bound for per-session view observers.
     pub max_view_frontier: usize,
+    /// Per-session budget of quarantined (transport-faulty) events.
+    /// `0` = strict mode: a transport-faulty step event violates its
+    /// session. `> 0` = lenient mode: such events are counted and dropped
+    /// without touching session state, and a session exceeding the budget
+    /// is evicted as [`ViolationKind::QuarantineOverflow`].
+    pub quarantine_cap: u64,
+    /// How long [`Engine::submit`] may wait on a full shard queue before
+    /// returning [`SubmitError::QueueFull`]. `None` waits indefinitely
+    /// (while workers are alive).
+    pub submit_timeout: Option<Duration>,
+    /// Seeded fault injection; [`FaultPlan::none`] (the default) injects
+    /// nothing.
+    pub fault: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -46,12 +86,54 @@ impl Default for EngineConfig {
             workers: 4,
             queue_capacity: 1024,
             max_view_frontier: 256,
+            quarantine_cap: 0,
+            submit_timeout: None,
+            fault: FaultPlan::none(),
         }
     }
 }
 
+/// Why [`Engine::submit`] rejected an event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The step event's register tuple does not match the specification
+    /// (validated at submit time, before the event reaches any queue).
+    Arity {
+        /// Arity the event carried.
+        got: usize,
+        /// The specification's register count.
+        want: usize,
+    },
+    /// The target shard's queue stayed full past
+    /// [`EngineConfig::submit_timeout`].
+    QueueFull {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// Every worker thread has exited (e.g. the respawn budget was
+    /// exhausted); the engine can no longer make progress. Without this
+    /// error a submit against dead workers would block forever.
+    WorkersDead,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Arity { got, want } => {
+                write!(f, "event arity {got} does not match specification ({want})")
+            }
+            SubmitError::QueueFull { shard } => {
+                write!(f, "shard {shard} queue stayed full past the submit timeout")
+            }
+            SubmitError::WorkersDead => write!(f, "all workers have exited"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// The final state of one session, reported at shutdown.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionOutcome {
     /// Session identifier.
     pub session: String,
@@ -63,6 +145,8 @@ pub struct SessionOutcome {
     /// Whether the session's view observer ever degraded to three-valued
     /// answers (frontier overflow).
     pub view_degraded: bool,
+    /// Transport-faulty events quarantined against this session.
+    pub quarantined: u64,
 }
 
 /// Everything the engine knows after a clean shutdown.
@@ -83,99 +167,87 @@ impl EngineReport {
     }
 }
 
-/// An envelope carrying the submit timestamp for queue-latency accounting.
-struct Envelope {
-    event: Event,
-    submitted: Instant,
+/// Builds the sorted final report from per-shard outcomes.
+pub(crate) fn make_report(
+    mut outcomes: Vec<SessionOutcome>,
+    metrics: Arc<EngineMetrics>,
+) -> EngineReport {
+    outcomes.sort_by(|a, b| a.session.cmp(&b.session));
+    EngineReport { outcomes, metrics }
 }
 
-/// A running engine. Created with [`Engine::start`], fed with
-/// [`Engine::submit`], torn down with [`Engine::finish`].
+/// The shard an event for `session` is routed to.
+pub(crate) fn shard_index(session: &str, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    session.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// A running engine: a facade over one [`Scheduler`]. Created with
+/// [`Engine::start`] (threaded) or [`Engine::start_sim`] (deterministic
+/// simulation), fed with [`Engine::submit`], torn down with
+/// [`Engine::finish`].
 pub struct Engine {
-    senders: Vec<SyncSender<Envelope>>,
-    workers: Vec<JoinHandle<Vec<SessionOutcome>>>,
-    metrics: Arc<EngineMetrics>,
-    shards: usize,
+    inner: Box<dyn Scheduler>,
 }
 
 impl Engine {
-    /// Spawns the worker pool against a compiled spec.
+    /// Spawns the production worker pool against a compiled spec.
     pub fn start(spec: Arc<CompiledSpec>, config: EngineConfig) -> Engine {
-        let shards = config.shards.max(1);
-        let workers = config.workers.max(1).min(shards);
-        let metrics = Arc::new(EngineMetrics::default());
-        let mut senders = Vec::with_capacity(shards);
-        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = sync_channel(config.queue_capacity.max(1));
-            senders.push(tx);
-            receivers.push(Some(rx));
-        }
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            // Worker w owns shards w, w+workers, w+2·workers, …
-            let owned: Vec<Receiver<Envelope>> = (w..shards)
-                .step_by(workers)
-                .map(|i| receivers[i].take().expect("each shard owned once"))
-                .collect();
-            let spec = Arc::clone(&spec);
-            let metrics = Arc::clone(&metrics);
-            let max_frontier = config.max_view_frontier;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("rega-stream-{w}"))
-                    .spawn(move || worker_loop(spec, metrics, owned, max_frontier))
-                    .expect("spawn worker thread"),
-            );
-        }
         Engine {
-            senders,
-            workers: handles,
-            metrics,
-            shards,
+            inner: Box::new(ThreadedScheduler::start(spec, config)),
         }
     }
 
-    /// The shard an event for `session` is routed to.
-    pub fn shard_of(&self, session: &str) -> usize {
-        let mut h = DefaultHasher::new();
-        session.hash(&mut h);
-        (h.finish() % self.shards as u64) as usize
+    /// Starts the single-threaded deterministic simulation: shard-queue
+    /// interleavings, the clock, and every injected fault derive from
+    /// `seed` (xor-ed into the fault plan's own seed), so the same seed
+    /// and config replay bit-for-bit.
+    pub fn start_sim(spec: Arc<CompiledSpec>, config: EngineConfig, seed: u64) -> Engine {
+        Engine {
+            inner: Box::new(SimScheduler::start(spec, config, seed)),
+        }
     }
 
-    /// Submits one event, blocking while the target shard's queue is full.
-    pub fn submit(&self, event: Event) {
-        let shard = self.shard_of(event.session());
-        self.metrics
-            .events_submitted
-            .fetch_add(1, Ordering::Relaxed);
-        self.senders[shard]
-            .send(Envelope {
-                event,
-                submitted: Instant::now(),
-            })
-            .expect("worker thread exited while the engine was still accepting events");
+    /// Resumes a simulation from a [`checkpoint`](Engine::checkpoint)
+    /// taken by an earlier (possibly crashed) engine. Sessions are
+    /// re-routed by hash, so the shard count may differ from the
+    /// checkpointing engine's.
+    pub fn restore_sim(
+        spec: Arc<CompiledSpec>,
+        config: EngineConfig,
+        seed: u64,
+        snapshot: &Json,
+    ) -> Result<Engine, SnapshotError> {
+        Ok(Engine {
+            inner: Box::new(SimScheduler::restore(spec, config, seed, snapshot)?),
+        })
+    }
+
+    /// Submits one event. Blocks (bounded by
+    /// [`EngineConfig::submit_timeout`]) while the target shard's queue is
+    /// full; rejects arity-invalid step events and submission against dead
+    /// workers with a typed error instead of panicking or hanging.
+    pub fn submit(&mut self, event: Event) -> Result<(), SubmitError> {
+        self.inner.submit(event)
     }
 
     /// The live metrics handle.
     pub fn metrics(&self) -> &Arc<EngineMetrics> {
-        &self.metrics
+        self.inner.metrics()
     }
 
-    /// Signals end-of-stream, waits for the workers to drain every queue,
-    /// and returns the combined report.
+    /// Drains in-flight events and serializes the complete monitoring
+    /// state as JSON (simulation only — returns `None` on the threaded
+    /// scheduler). The engine remains usable afterwards.
+    pub fn checkpoint(&mut self) -> Option<Json> {
+        self.inner.checkpoint()
+    }
+
+    /// Signals end-of-stream, drains every queue, and returns the combined
+    /// report.
     pub fn finish(self) -> EngineReport {
-        drop(self.senders);
-        let mut outcomes: Vec<SessionOutcome> = Vec::new();
-        for handle in self.workers {
-            let shard_outcomes = handle.join().expect("worker thread panicked");
-            outcomes.extend(shard_outcomes);
-        }
-        outcomes.sort_by(|a, b| a.session.cmp(&b.session));
-        EngineReport {
-            outcomes,
-            metrics: self.metrics,
-        }
+        self.inner.finish()
     }
 }
 
@@ -183,70 +255,16 @@ impl Engine {
 /// evicted ones (the latter also serve as tombstones so late events for a
 /// closed session are counted, not resurrected).
 #[derive(Default)]
-struct ShardState {
-    live: HashMap<String, Session>,
-    closed: HashMap<String, SessionOutcome>,
-}
-
-fn worker_loop(
-    spec: Arc<CompiledSpec>,
-    metrics: Arc<EngineMetrics>,
-    receivers: Vec<Receiver<Envelope>>,
-    max_frontier: usize,
-) -> Vec<SessionOutcome> {
-    let mut shards: Vec<ShardState> = receivers.iter().map(|_| ShardState::default()).collect();
-    // Single-shard workers can block on recv (no other queue to starve).
-    if let [rx] = &receivers[..] {
-        while let Ok(env) = rx.recv() {
-            metrics.queue_latency.record(env.submitted.elapsed());
-            let started = Instant::now();
-            process(&spec, &metrics, &mut shards[0], env.event, max_frontier);
-            metrics.process_latency.record(started.elapsed());
-            metrics.events_processed.fetch_add(1, Ordering::Relaxed);
-        }
-        return report_shards(&metrics, shards);
-    }
-    let mut open: Vec<bool> = vec![true; receivers.len()];
-    // Round-robin over owned shards; drain in small batches to stay fair.
-    const BATCH: usize = 64;
-    loop {
-        let mut progressed = false;
-        for (i, rx) in receivers.iter().enumerate() {
-            if !open[i] {
-                continue;
-            }
-            for _ in 0..BATCH {
-                match rx.try_recv() {
-                    Ok(env) => {
-                        metrics.queue_latency.record(env.submitted.elapsed());
-                        let started = Instant::now();
-                        process(&spec, &metrics, &mut shards[i], env.event, max_frontier);
-                        metrics.process_latency.record(started.elapsed());
-                        metrics.events_processed.fetch_add(1, Ordering::Relaxed);
-                        progressed = true;
-                    }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
-                        open[i] = false;
-                        break;
-                    }
-                }
-            }
-        }
-        if open.iter().all(|o| !o) {
-            break;
-        }
-        if !progressed {
-            // All owned queues momentarily empty: yield briefly instead of
-            // spinning. (Blocking recv would stall the other owned shards.)
-            std::thread::sleep(Duration::from_micros(20));
-        }
-    }
-    report_shards(&metrics, shards)
+pub(crate) struct ShardState {
+    pub(crate) live: HashMap<String, Session>,
+    pub(crate) closed: HashMap<String, SessionOutcome>,
 }
 
 /// End of stream: report evicted sessions plus whatever is still live.
-fn report_shards(metrics: &EngineMetrics, shards: Vec<ShardState>) -> Vec<SessionOutcome> {
+pub(crate) fn report_shards(
+    metrics: &EngineMetrics,
+    shards: Vec<ShardState>,
+) -> Vec<SessionOutcome> {
     let mut outcomes = Vec::new();
     for shard in shards {
         outcomes.extend(shard.closed.into_values());
@@ -257,24 +275,35 @@ fn report_shards(metrics: &EngineMetrics, shards: Vec<ShardState>) -> Vec<Sessio
                 status: session.status().clone(),
                 events: session.events,
                 view_degraded: session.view_degraded,
+                quarantined: session.quarantined,
             });
         }
     }
     outcomes
 }
 
-fn process(
+/// Applies one event to its shard. `quarantine_cap > 0` selects lenient
+/// mode: transport-faulty events are quarantined instead of violating.
+pub(crate) fn process(
     spec: &CompiledSpec,
     metrics: &EngineMetrics,
     shard: &mut ShardState,
     event: Event,
     max_frontier: usize,
+    quarantine_cap: u64,
 ) {
+    let lenient = quarantine_cap > 0;
     let name = event.session();
     if shard.closed.contains_key(name) {
         metrics
             .events_after_eviction
             .fetch_add(1, Ordering::Relaxed);
+        if lenient {
+            // Post-eviction traffic (e.g. a duplicated terminal event) is
+            // a transport fault too; it is benign in both modes, but in
+            // lenient mode it also shows up in the quarantine counter.
+            metrics.events_quarantined.fetch_add(1, Ordering::Relaxed);
+        }
         return;
     }
     match event {
@@ -283,6 +312,20 @@ fn process(
             state,
             regs,
         } => {
+            if lenient && (regs.len() != spec.registers() || spec.state_id(&state).is_none()) {
+                metrics.events_quarantined.fetch_add(1, Ordering::Relaxed);
+                // Corrupt events never *create* a session; they only count
+                // against an existing one's budget.
+                if let Some(session) = shard.live.get_mut(&name) {
+                    session.quarantined += 1;
+                    if session.quarantined > quarantine_cap {
+                        session.force_violation(ViolationKind::QuarantineOverflow);
+                        metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+                        evict(metrics, shard, &name);
+                    }
+                }
+                return;
+            }
             let session = shard.live.entry(name.clone()).or_insert_with(|| {
                 metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
                 metrics.session_in();
@@ -320,6 +363,7 @@ fn process(
                             status: SessionStatus::Ended,
                             events: 1,
                             view_degraded: false,
+                            quarantined: 0,
                         },
                     );
                 }
@@ -330,7 +374,7 @@ fn process(
 
 /// Moves a session from the live map to the closed (outcome) map, dropping
 /// its monitor and observer state.
-fn evict(metrics: &EngineMetrics, shard: &mut ShardState, name: &str) {
+pub(crate) fn evict(metrics: &EngineMetrics, shard: &mut ShardState, name: &str) {
     let Some(session) = shard.live.remove(name) else {
         return;
     };
@@ -345,6 +389,7 @@ fn evict(metrics: &EngineMetrics, shard: &mut ShardState, name: &str) {
             status: session.status().clone(),
             events: session.events,
             view_degraded: session.view_degraded,
+            quarantined: session.quarantined,
         },
     );
 }

@@ -9,6 +9,13 @@
 //!
 //! A `state`/`regs` event advances the named session's run by one position;
 //! an `end` event closes the session and evicts its monitoring state.
+//!
+//! Parsing is strict and *total*: every malformed line yields a typed
+//! [`EventError`], never a panic (the `stream_faults` suite fuzzes the
+//! parser with byte mutations of valid lines to enforce this). When the
+//! monitored specification is known, [`parse_event_checked`] additionally
+//! validates the register arity at parse time, so an event with the wrong
+//! tuple width is rejected at the edge instead of deep inside a worker.
 
 use rega_data::Value;
 use std::fmt;
@@ -41,48 +48,79 @@ impl Event {
     }
 }
 
-/// A malformed event line.
+/// Why an event line was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct EventError {
-    /// What was wrong with the line.
-    pub message: String,
+pub enum EventError {
+    /// The line is not valid JSON.
+    Json(String),
+    /// The line parsed but is not a JSON object.
+    NotAnObject,
+    /// A required field is missing or has the wrong JSON type.
+    BadField {
+        /// Field name.
+        field: &'static str,
+        /// What was expected there.
+        expected: &'static str,
+    },
+    /// The `session` field is present but empty.
+    EmptySession,
+    /// A field not part of the wire format is present.
+    UnexpectedField(String),
+    /// `end` is present but not `true`.
+    BadEnd,
+    /// The register tuple does not match the specification's register
+    /// count (only from [`parse_event_checked`] / submit-time validation).
+    Arity {
+        /// Arity the event carried.
+        got: usize,
+        /// The specification's register count.
+        want: usize,
+    },
 }
 
 impl fmt::Display for EventError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad event: {}", self.message)
+        match self {
+            EventError::Json(e) => write!(f, "bad event: {e}"),
+            EventError::NotAnObject => write!(f, "bad event: event must be a JSON object"),
+            EventError::BadField { field, expected } => {
+                write!(f, "bad event: field `{field}` must be {expected}")
+            }
+            EventError::EmptySession => write!(f, "bad event: `session` must be non-empty"),
+            EventError::UnexpectedField(k) => write!(f, "bad event: unexpected field `{k}`"),
+            EventError::BadEnd => write!(f, "bad event: `end` must be `true` when present"),
+            EventError::Arity { got, want } => write!(
+                f,
+                "bad event: register tuple has arity {got}, the specification has {want}"
+            ),
+        }
     }
 }
 
 impl std::error::Error for EventError {}
 
-fn err(message: impl Into<String>) -> EventError {
-    EventError {
-        message: message.into(),
-    }
-}
-
 /// Parses one JSONL line into an [`Event`].
 pub fn parse_event(line: &str) -> Result<Event, EventError> {
-    let value = serde_json::from_str(line).map_err(|e| err(e.to_string()))?;
-    let obj = value
-        .as_object()
-        .ok_or_else(|| err("event must be a JSON object"))?;
+    let value = serde_json::from_str(line).map_err(|e| EventError::Json(e.to_string()))?;
+    let obj = value.as_object().ok_or(EventError::NotAnObject)?;
     let session = obj
         .get("session")
         .and_then(|v| v.as_str())
-        .ok_or_else(|| err("missing string field `session`"))?
+        .ok_or(EventError::BadField {
+            field: "session",
+            expected: "a string",
+        })?
         .to_string();
     if session.is_empty() {
-        return Err(err("`session` must be non-empty"));
+        return Err(EventError::EmptySession);
     }
     if let Some(end) = obj.get("end") {
         if end.as_bool() != Some(true) {
-            return Err(err("`end` must be `true` when present"));
+            return Err(EventError::BadEnd);
         }
         for key in obj.keys() {
             if key != "session" && key != "end" {
-                return Err(err(format!("unexpected field `{key}` in end event")));
+                return Err(EventError::UnexpectedField(key.clone()));
             }
         }
         return Ok(Event::End { session });
@@ -90,22 +128,29 @@ pub fn parse_event(line: &str) -> Result<Event, EventError> {
     let state = obj
         .get("state")
         .and_then(|v| v.as_str())
-        .ok_or_else(|| err("missing string field `state`"))?
+        .ok_or(EventError::BadField {
+            field: "state",
+            expected: "a string",
+        })?
         .to_string();
     let regs_json = obj
         .get("regs")
         .and_then(|v| v.as_array())
-        .ok_or_else(|| err("missing array field `regs`"))?;
+        .ok_or(EventError::BadField {
+            field: "regs",
+            expected: "an array",
+        })?;
     let mut regs = Vec::with_capacity(regs_json.len());
     for v in regs_json {
-        let n = v
-            .as_u64()
-            .ok_or_else(|| err("`regs` entries must be unsigned integers"))?;
+        let n = v.as_u64().ok_or(EventError::BadField {
+            field: "regs",
+            expected: "an array of unsigned integers",
+        })?;
         regs.push(Value(n));
     }
     for key in obj.keys() {
         if !matches!(key.as_str(), "session" | "state" | "regs") {
-            return Err(err(format!("unexpected field `{key}` in step event")));
+            return Err(EventError::UnexpectedField(key.clone()));
         }
     }
     Ok(Event::Step {
@@ -113,6 +158,22 @@ pub fn parse_event(line: &str) -> Result<Event, EventError> {
         state,
         regs,
     })
+}
+
+/// Parses one JSONL line and validates the register arity of step events
+/// against the specification's register count, so malformed tuples are
+/// rejected at the edge with [`EventError::Arity`].
+pub fn parse_event_checked(line: &str, registers: usize) -> Result<Event, EventError> {
+    let event = parse_event(line)?;
+    if let Event::Step { regs, .. } = &event {
+        if regs.len() != registers {
+            return Err(EventError::Arity {
+                got: regs.len(),
+                want: registers,
+            });
+        }
+    }
+    Ok(event)
 }
 
 #[cfg(test)]
@@ -140,18 +201,61 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines() {
-        for bad in [
-            "",
-            "not json",
-            r#"{"state": "q", "regs": []}"#,
-            r#"{"session": "", "state": "q", "regs": []}"#,
-            r#"{"session": "s", "state": "q"}"#,
-            r#"{"session": "s", "state": "q", "regs": [-1]}"#,
-            r#"{"session": "s", "end": false}"#,
-            r#"{"session": "s", "state": "q", "regs": [], "extra": 1}"#,
+    fn rejects_malformed_lines_with_typed_errors() {
+        for (bad, want) in [
+            ("not json", None),
+            ("[1]", Some(EventError::NotAnObject)),
+            (
+                r#"{"state": "q", "regs": []}"#,
+                Some(EventError::BadField {
+                    field: "session",
+                    expected: "a string",
+                }),
+            ),
+            (
+                r#"{"session": "", "state": "q", "regs": []}"#,
+                Some(EventError::EmptySession),
+            ),
+            (
+                r#"{"session": "s", "state": "q"}"#,
+                Some(EventError::BadField {
+                    field: "regs",
+                    expected: "an array",
+                }),
+            ),
+            (
+                r#"{"session": "s", "state": "q", "regs": [-1]}"#,
+                Some(EventError::BadField {
+                    field: "regs",
+                    expected: "an array of unsigned integers",
+                }),
+            ),
+            (
+                r#"{"session": "s", "end": false}"#,
+                Some(EventError::BadEnd),
+            ),
+            (
+                r#"{"session": "s", "state": "q", "regs": [], "extra": 1}"#,
+                Some(EventError::UnexpectedField("extra".into())),
+            ),
         ] {
-            assert!(parse_event(bad).is_err(), "should reject: {bad}");
+            let got = parse_event(bad);
+            match want {
+                None => assert!(got.is_err(), "should reject: {bad}"),
+                Some(want) => assert_eq!(got, Err(want), "wrong error for: {bad}"),
+            }
         }
+    }
+
+    #[test]
+    fn checked_parse_validates_arity_at_the_edge() {
+        let line = r#"{"session": "s", "state": "q", "regs": [1, 2, 3]}"#;
+        assert!(parse_event_checked(line, 3).is_ok());
+        assert_eq!(
+            parse_event_checked(line, 2),
+            Err(EventError::Arity { got: 3, want: 2 })
+        );
+        // `End` events have no tuple and always pass the arity check.
+        assert!(parse_event_checked(r#"{"session": "s", "end": true}"#, 2).is_ok());
     }
 }

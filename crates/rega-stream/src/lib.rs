@@ -30,17 +30,43 @@
 //! * [`metrics::EngineMetrics`] — lock-free counters and coarse
 //!   power-of-two latency histograms, exportable as JSON.
 //!
+//! Failure semantics and testability (see the README's "Failure
+//! semantics" section for the full contract):
+//!
+//! * [`scheduler::Scheduler`] abstracts *how* events execute. The
+//!   production [`scheduler::ThreadedScheduler`] runs the worker pool; the
+//!   deterministic [`sim::SimScheduler`] interleaves shard polls from a
+//!   seeded RNG on one thread with a simulated [`clock::SimClock`], so
+//!   whole runs — verdicts, quarantine counts, metrics snapshots — replay
+//!   bit-for-bit per seed.
+//! * [`fault::FaultPlan`] injects worker panics (caught and respawned with
+//!   session state intact), processing stalls, and transport-corrupt /
+//!   duplicated events, which lenient engines quarantine instead of
+//!   violating on.
+//! * [`snapshot`] serializes a drained engine's complete monitoring state
+//!   so a restarted engine resumes mid-stream with identical verdicts.
+//!
 //! Everything is built on `std` (`std::thread`, `std::sync::mpsc`); the
 //! engine introduces no external dependencies.
 
+pub mod clock;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod metrics;
+pub mod scheduler;
 pub mod session;
+pub mod sim;
+pub mod snapshot;
 pub mod spec;
 
-pub use engine::{Engine, EngineConfig, EngineReport, SessionOutcome};
-pub use event::{parse_event, Event, EventError};
+pub use clock::{Clock, SimClock, SystemClock};
+pub use engine::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
+pub use event::{parse_event, parse_event_checked, Event, EventError};
+pub use fault::FaultPlan;
 pub use metrics::EngineMetrics;
+pub use scheduler::{Scheduler, ThreadedScheduler};
 pub use session::{Session, SessionStatus, ViolationKind};
+pub use sim::SimScheduler;
+pub use snapshot::SnapshotError;
 pub use spec::CompiledSpec;

@@ -1,5 +1,11 @@
 //! Lock-free engine metrics: monotonic counters, a live-session gauge with
-//! a high-water mark, and coarse power-of-two latency histograms.
+//! a high-water mark, fault/quarantine accounting, and coarse power-of-two
+//! latency histograms.
+//!
+//! All timestamps feeding the histograms come from an injectable
+//! [`Clock`](crate::clock::Clock), so a simulation run with a
+//! [`SimClock`](crate::clock::SimClock) produces bit-for-bit reproducible
+//! snapshots — the JSON schema is pinned by a golden-file test.
 
 use serde_json::{json, Value as Json};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,9 +22,14 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
-    /// Records one duration.
+    /// Records one duration (saturating at `u64::MAX` nanoseconds).
     pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one duration given directly in nanoseconds (the form the
+    /// injectable clock produces).
+    pub fn record_ns(&self, ns: u64) {
         let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
@@ -95,6 +106,16 @@ pub struct EngineMetrics {
     pub sessions_active: AtomicU64,
     /// High-water mark of `sessions_active`.
     pub sessions_active_peak: AtomicU64,
+    /// Transport-faulty events (bad arity, unknown state, post-eviction or
+    /// post-end traffic) dropped without touching session state, in
+    /// lenient mode (`quarantine_cap > 0`).
+    pub events_quarantined: AtomicU64,
+    /// Worker panics that were caught, with the worker respawned in place
+    /// and its shard state handed back to it.
+    pub worker_panics: AtomicU64,
+    /// Submissions rejected with a typed error (arity validation, queue
+    /// timeout, dead workers).
+    pub submit_errors: AtomicU64,
     /// Per-event worker processing latency.
     pub process_latency: LatencyHistogram,
     /// Time events spent waiting in shard queues.
@@ -108,9 +129,15 @@ impl EngineMetrics {
         self.sessions_active_peak.fetch_max(now, Ordering::Relaxed);
     }
 
-    /// Registers a session being evicted.
+    /// Registers a session being evicted. The gauge saturates at zero
+    /// rather than wrapping, so a restore-after-crash that replays an
+    /// eviction can never poison the metric.
     pub fn session_out(&self) {
-        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+        let _ = self
+            .sessions_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
         self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -133,6 +160,11 @@ impl EngineMetrics {
                 "active_peak": c(&self.sessions_active_peak),
                 "view_degraded": c(&self.view_degraded),
             },
+            "faults": {
+                "quarantined": c(&self.events_quarantined),
+                "worker_panics": c(&self.worker_panics),
+                "submit_errors": c(&self.submit_errors),
+            },
             "latency": {
                 "process": self.process_latency.snapshot(),
                 "queue": self.queue_latency.snapshot(),
@@ -144,6 +176,7 @@ impl EngineMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::{Clock, SimClock};
 
     #[test]
     fn histogram_buckets_and_quantiles() {
@@ -158,6 +191,56 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // 2^i lands in bucket i (upper bound 2^(i+1)); 2^i - 1 lands one
+        // bucket below. Checked through the snapshot's `le_ns` labels.
+        for i in [1usize, 4, 10, 20] {
+            let h = LatencyHistogram::default();
+            h.record_ns(1 << i);
+            let snap = h.snapshot();
+            assert_eq!(
+                snap["buckets"][0]["le_ns"].as_u64(),
+                Some(1 << (i + 1)),
+                "2^{i} must land in bucket [{}, {})",
+                1u64 << i,
+                1u64 << (i + 1)
+            );
+            let h = LatencyHistogram::default();
+            h.record_ns((1 << i) - 1);
+            let snap = h.snapshot();
+            assert_eq!(snap["buckets"][0]["le_ns"].as_u64(), Some(1 << i));
+        }
+        // 0 ns is clamped into the first bucket, huge durations into the
+        // last, both without panicking (saturating record).
+        let h = LatencyHistogram::default();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 3);
+        let snap = h.snapshot();
+        assert_eq!(snap["buckets"][0]["le_ns"].as_u64(), Some(2));
+        assert_eq!(
+            snap["buckets"][1]["le_ns"].as_u64(),
+            Some(1u64 << BUCKETS.min(63)),
+            "oversized samples collapse into the unbounded last bucket"
+        );
+        assert_eq!(snap["buckets"][1]["count"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn session_gauge_saturates_instead_of_wrapping() {
+        let m = EngineMetrics::default();
+        m.session_in();
+        m.session_out();
+        m.session_out(); // extra eviction (e.g. replayed after a restore)
+        assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+        assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 2);
+        // The gauge still works afterwards.
+        m.session_in();
+        assert_eq!(m.sessions_active.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn snapshot_is_json() {
         let m = EngineMetrics::default();
         m.session_in();
@@ -168,8 +251,45 @@ mod tests {
         assert_eq!(snap["sessions"]["active"].as_u64(), Some(1));
         assert_eq!(snap["sessions"]["active_peak"].as_u64(), Some(2));
         assert_eq!(snap["latency"]["process"]["count"].as_u64(), Some(1));
+        assert_eq!(snap["faults"]["quarantined"].as_u64(), Some(0));
         // round-trips through the serializer
         let text = serde_json::to_string(&snap).unwrap();
         assert!(serde_json::from_str(&text).is_ok());
+    }
+
+    /// Golden-file schema test: a fixed sequence of counter updates and
+    /// clock-derived latencies must serialize to exactly the pinned JSON.
+    /// If this fails because the schema deliberately changed, update
+    /// `testdata/metrics_snapshot.golden.json` alongside the consumers of
+    /// the snapshot (CLI summary, dashboards).
+    #[test]
+    fn snapshot_schema_matches_golden_file() {
+        let clock = SimClock::new();
+        let m = EngineMetrics::default();
+        for (advance_ns, process_ns) in [(100u64, 700u64), (250, 1_300), (4_000, 90)] {
+            let submitted = clock.now_ns();
+            clock.advance(advance_ns);
+            m.queue_latency.record_ns(clock.now_ns() - submitted);
+            let started = clock.now_ns();
+            clock.advance(process_ns);
+            m.process_latency.record_ns(clock.now_ns() - started);
+            m.events_submitted.fetch_add(1, Ordering::Relaxed);
+            m.events_processed.fetch_add(1, Ordering::Relaxed);
+            m.events_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        m.session_in();
+        m.session_in();
+        m.session_out();
+        m.sessions_started.fetch_add(2, Ordering::Relaxed);
+        m.sessions_ended.fetch_add(1, Ordering::Relaxed);
+        m.events_quarantined.fetch_add(3, Ordering::Relaxed);
+        m.worker_panics.fetch_add(1, Ordering::Relaxed);
+        let got = serde_json::to_string_pretty(&m.snapshot()).unwrap();
+        let want = include_str!("testdata/metrics_snapshot.golden.json");
+        assert_eq!(
+            got.trim(),
+            want.trim(),
+            "metrics snapshot schema drifted from the golden file"
+        );
     }
 }

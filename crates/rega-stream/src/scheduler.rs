@@ -1,0 +1,465 @@
+//! Execution strategies behind the [`Engine`](crate::engine::Engine)
+//! facade.
+//!
+//! A [`Scheduler`] decides *when and on which thread* events are applied
+//! to their shards; the shard-processing core itself
+//! ([`process`](crate::engine::process)) is shared, so the production
+//! [`ThreadedScheduler`] and the deterministic
+//! [`SimScheduler`](crate::sim::SimScheduler) agree on semantics by
+//! construction — the property the `stream_faults` differential suite
+//! leans on.
+//!
+//! The threaded scheduler's failure handling: each worker runs its shard
+//! loop under [`catch_unwind`](std::panic::catch_unwind) with its shard
+//! state held *outside* the unwind boundary, so a panic (injected or
+//! genuine) costs the in-flight event at most — the worker increments
+//! `worker_panics`, re-enters its loop with all session state intact, and
+//! retries the event once. A second panic on the same event poisons it:
+//! the event is quarantined and its session evicted as
+//! [`ViolationKind::WorkerPanic`](crate::session::ViolationKind::WorkerPanic).
+//! When a worker exhausts its respawn budget it exits; once every worker
+//! has exited, [`Scheduler::submit`] fails fast with
+//! [`SubmitError::WorkersDead`] instead of blocking forever.
+
+use crate::clock::{Clock, SystemClock};
+use crate::engine::{
+    evict, make_report, process, report_shards, shard_index, EngineConfig, EngineReport,
+    SessionOutcome, ShardState, SubmitError,
+};
+use crate::event::Event;
+use crate::fault::FaultInjector;
+use crate::metrics::EngineMetrics;
+use crate::session::ViolationKind;
+use crate::spec::CompiledSpec;
+use serde_json::Value as Json;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An event execution strategy. All schedulers share the shard-processing
+/// core, so they differ only in interleaving, timing, and fault handling.
+pub trait Scheduler: Send {
+    /// Submits one event (see [`Engine::submit`](crate::engine::Engine::submit)).
+    fn submit(&mut self, event: Event) -> Result<(), SubmitError>;
+
+    /// The live metrics handle.
+    fn metrics(&self) -> &Arc<EngineMetrics>;
+
+    /// Drains in-flight events and serializes the monitoring state
+    /// (deterministic schedulers only).
+    fn checkpoint(&mut self) -> Option<Json>;
+
+    /// Signals end-of-stream, drains every queue, and reports.
+    fn finish(self: Box<Self>) -> EngineReport;
+}
+
+/// An envelope carrying the submit timestamp for queue-latency accounting
+/// and the retry marker for panic recovery.
+pub(crate) struct Envelope {
+    pub(crate) event: Event,
+    pub(crate) submitted_ns: u64,
+    /// Set when the event already survived one worker panic: no further
+    /// faults are injected against it, and a second (genuine) panic
+    /// poisons it instead of retrying again.
+    pub(crate) fault_immune: bool,
+}
+
+/// Payload type of injected panics, so the unwind skips the default panic
+/// hook's backtrace noise (`resume_unwind` does not invoke the hook).
+struct InjectedPanic;
+
+/// The production scheduler: a sharded worker pool on OS threads.
+pub struct ThreadedScheduler {
+    senders: Vec<SyncSender<Envelope>>,
+    workers: Vec<JoinHandle<Vec<SessionOutcome>>>,
+    metrics: Arc<EngineMetrics>,
+    clock: Arc<SystemClock>,
+    live_workers: Arc<AtomicUsize>,
+    producer_faults: FaultInjector,
+    registers: usize,
+    shards: usize,
+    submit_timeout: Option<Duration>,
+}
+
+impl ThreadedScheduler {
+    /// Spawns the worker pool against a compiled spec.
+    pub fn start(spec: Arc<CompiledSpec>, config: EngineConfig) -> ThreadedScheduler {
+        let shards = config.shards.max(1);
+        let workers = config.workers.max(1).min(shards);
+        let metrics = Arc::new(EngineMetrics::default());
+        let clock = Arc::new(SystemClock::new());
+        let live_workers = Arc::new(AtomicUsize::new(workers));
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel(config.queue_capacity.max(1));
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            // Worker w owns shards w, w+workers, w+2·workers, …
+            let owned: Vec<Receiver<Envelope>> = (w..shards)
+                .step_by(workers)
+                .map(|i| receivers[i].take().expect("each shard owned once"))
+                .collect();
+            let spec = Arc::clone(&spec);
+            let metrics = Arc::clone(&metrics);
+            let clock = Arc::clone(&clock);
+            let live = Arc::clone(&live_workers);
+            let injector = FaultInjector::new(&config.fault, w as u64);
+            let max_frontier = config.max_view_frontier;
+            let quarantine_cap = config.quarantine_cap;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rega-stream-{w}"))
+                    .spawn(move || {
+                        let outcomes = worker_entry(
+                            spec,
+                            metrics,
+                            clock,
+                            owned,
+                            injector,
+                            max_frontier,
+                            quarantine_cap,
+                        );
+                        live.fetch_sub(1, Ordering::Release);
+                        outcomes
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        ThreadedScheduler {
+            senders,
+            workers: handles,
+            metrics,
+            clock,
+            live_workers,
+            // Index u64::MAX keeps the producer's RNG stream disjoint from
+            // every worker's.
+            producer_faults: FaultInjector::new(&config.fault, u64::MAX),
+            registers: spec.registers(),
+            shards,
+            submit_timeout: config.submit_timeout,
+        }
+    }
+
+    /// Routes one envelope to its shard queue, back-pressuring on a full
+    /// queue up to the submit timeout.
+    fn route(&self, mut env: Envelope) -> Result<(), SubmitError> {
+        let shard = shard_index(env.event.session(), self.shards);
+        let deadline_ns = self.submit_timeout.map(|t| {
+            self.clock
+                .now_ns()
+                .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as u64)
+        });
+        loop {
+            match self.senders[shard].try_send(env) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::WorkersDead);
+                }
+                Err(TrySendError::Full(back)) => {
+                    env = back;
+                    if self.live_workers.load(Ordering::Acquire) == 0 {
+                        self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::WorkersDead);
+                    }
+                    if let Some(deadline) = deadline_ns {
+                        if self.clock.now_ns() >= deadline {
+                            self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                            return Err(SubmitError::QueueFull { shard });
+                        }
+                    }
+                    self.clock.stall(10_000); // 10 µs between retries
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for ThreadedScheduler {
+    fn submit(&mut self, event: Event) -> Result<(), SubmitError> {
+        if let Event::Step { regs, .. } = &event {
+            if regs.len() != self.registers {
+                self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Arity {
+                    got: regs.len(),
+                    want: self.registers,
+                });
+            }
+        }
+        // Producer-side transport-fault injection: corrupted copies and
+        // duplicated terminal events ride in *after* the genuine event
+        // (and bypass the arity gate — that is the point).
+        let injected = self.producer_faults.injected_copies(&event);
+        self.metrics
+            .events_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.route(Envelope {
+            event,
+            submitted_ns: self.clock.now_ns(),
+            fault_immune: false,
+        })?;
+        for copy in injected {
+            self.metrics
+                .events_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            self.route(Envelope {
+                event: copy,
+                submitted_ns: self.clock.now_ns(),
+                fault_immune: false,
+            })?;
+        }
+        Ok(())
+    }
+
+    fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    fn checkpoint(&mut self) -> Option<Json> {
+        None
+    }
+
+    fn finish(self: Box<Self>) -> EngineReport {
+        drop(self.senders);
+        let mut outcomes: Vec<SessionOutcome> = Vec::new();
+        for handle in self.workers {
+            outcomes.extend(handle.join().expect("worker thread died outside its loop"));
+        }
+        make_report(outcomes, self.metrics)
+    }
+}
+
+/// Per-worker state that must survive panics: it lives *outside* the
+/// unwind boundary, so `catch_unwind` hands it back to the respawned loop
+/// untouched.
+struct WorkerCtx {
+    shards: Vec<ShardState>,
+    open: Vec<bool>,
+    /// The envelope being processed, stashed (only while fault injection
+    /// is active) so a caught panic can retry or poison it.
+    inflight: Option<(usize, Envelope)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_entry(
+    spec: Arc<CompiledSpec>,
+    metrics: Arc<EngineMetrics>,
+    clock: Arc<SystemClock>,
+    receivers: Vec<Receiver<Envelope>>,
+    mut injector: FaultInjector,
+    max_frontier: usize,
+    quarantine_cap: u64,
+) -> Vec<SessionOutcome> {
+    let mut ctx = WorkerCtx {
+        shards: receivers.iter().map(|_| ShardState::default()).collect(),
+        open: vec![true; receivers.len()],
+        inflight: None,
+    };
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(
+                &spec,
+                &metrics,
+                &*clock,
+                &receivers,
+                &mut ctx,
+                &mut injector,
+                max_frontier,
+                quarantine_cap,
+            )
+        }));
+        match run {
+            Ok(()) => break, // clean drain: every owned queue disconnected
+            Err(_) => {
+                metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some((i, env)) = ctx.inflight.take() {
+                    if env.fault_immune {
+                        // Second panic on the same event: poison it.
+                        poison(&metrics, &mut ctx.shards[i], &env.event);
+                    } else {
+                        ctx.inflight = Some((
+                            i,
+                            Envelope {
+                                fault_immune: true,
+                                ..env
+                            },
+                        ));
+                    }
+                }
+                if !injector.respawn() {
+                    // Respawn budget exhausted: exit for good. Dropping the
+                    // receivers disconnects the shard queues, which the
+                    // producer observes as `WorkersDead`.
+                    break;
+                }
+            }
+        }
+    }
+    report_shards(&metrics, ctx.shards)
+}
+
+/// Quarantines a twice-panicking event and evicts its session as
+/// [`ViolationKind::WorkerPanic`].
+fn poison(metrics: &EngineMetrics, shard: &mut ShardState, event: &Event) {
+    metrics.events_quarantined.fetch_add(1, Ordering::Relaxed);
+    let name = event.session().to_string();
+    if let Some(session) = shard.live.get_mut(&name) {
+        session.force_violation(ViolationKind::WorkerPanic);
+        metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+        evict(metrics, shard, &name);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    spec: &CompiledSpec,
+    metrics: &EngineMetrics,
+    clock: &dyn Clock,
+    receivers: &[Receiver<Envelope>],
+    ctx: &mut WorkerCtx,
+    injector: &mut FaultInjector,
+    max_frontier: usize,
+    quarantine_cap: u64,
+) {
+    let faulty = injector.is_active();
+    // A retry left over from a caught panic is processed first.
+    if let Some((i, env)) = ctx.inflight.take() {
+        handle_one(
+            spec,
+            metrics,
+            clock,
+            ctx,
+            injector,
+            i,
+            env,
+            max_frontier,
+            quarantine_cap,
+            faulty,
+        );
+    }
+    // Single-shard workers can block on recv (no other queue to starve).
+    if let [rx] = receivers {
+        while let Ok(env) = rx.recv() {
+            handle_one(
+                spec,
+                metrics,
+                clock,
+                ctx,
+                injector,
+                0,
+                env,
+                max_frontier,
+                quarantine_cap,
+                faulty,
+            );
+        }
+        return;
+    }
+    // Round-robin over owned shards; drain in small batches to stay fair.
+    const BATCH: usize = 64;
+    loop {
+        let mut progressed = false;
+        for (i, rx) in receivers.iter().enumerate() {
+            if !ctx.open[i] {
+                continue;
+            }
+            for _ in 0..BATCH {
+                match rx.try_recv() {
+                    Ok(env) => {
+                        handle_one(
+                            spec,
+                            metrics,
+                            clock,
+                            ctx,
+                            injector,
+                            i,
+                            env,
+                            max_frontier,
+                            quarantine_cap,
+                            faulty,
+                        );
+                        progressed = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        ctx.open[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ctx.open.iter().all(|o| !o) {
+            return;
+        }
+        if !progressed {
+            // All owned queues momentarily empty: yield briefly instead of
+            // spinning. (Blocking recv would stall the other owned shards.)
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// Applies one envelope: fault draws (stall, panic), latency accounting,
+/// then the shared shard-processing core.
+#[allow(clippy::too_many_arguments)]
+fn handle_one(
+    spec: &CompiledSpec,
+    metrics: &EngineMetrics,
+    clock: &dyn Clock,
+    ctx: &mut WorkerCtx,
+    injector: &mut FaultInjector,
+    shard_idx: usize,
+    env: Envelope,
+    max_frontier: usize,
+    quarantine_cap: u64,
+    faulty: bool,
+) {
+    metrics
+        .queue_latency
+        .record_ns(clock.now_ns().saturating_sub(env.submitted_ns));
+    if faulty && !env.fault_immune {
+        if let Some(ns) = injector.stall_ns() {
+            clock.stall(ns);
+        }
+        if injector.should_panic() {
+            // Stash the envelope so the respawned loop retries it, then
+            // unwind without invoking the panic hook (no backtrace spam).
+            ctx.inflight = Some((shard_idx, env));
+            std::panic::resume_unwind(Box::new(InjectedPanic));
+        }
+    }
+    if faulty {
+        // Keep the envelope reachable across a *genuine* panic inside
+        // `process` too (clone only on the fault-injected path — the
+        // fast path pays nothing).
+        ctx.inflight = Some((
+            shard_idx,
+            Envelope {
+                event: env.event.clone(),
+                submitted_ns: env.submitted_ns,
+                fault_immune: env.fault_immune,
+            },
+        ));
+    }
+    let started = clock.now_ns();
+    process(
+        spec,
+        metrics,
+        &mut ctx.shards[shard_idx],
+        env.event,
+        max_frontier,
+        quarantine_cap,
+    );
+    metrics
+        .process_latency
+        .record_ns(clock.now_ns().saturating_sub(started));
+    metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+    ctx.inflight = None;
+}

@@ -1,10 +1,11 @@
-//! Per-session monitoring state.
+//! Per-session monitoring state, including snapshot / restore.
 
 use crate::spec::CompiledSpec;
 use rega_core::monitor::ConstraintMonitor;
 use rega_core::StateId;
 use rega_data::Value;
-use rega_views::observer::{Verdict, ViewObserver};
+use rega_views::observer::{ObserverSnapshot, Verdict, ViewObserver};
+use serde_json::{json, Value as Json};
 use std::fmt;
 
 /// Why a session's event stream stopped being a run of the specification.
@@ -39,6 +40,12 @@ pub enum ViolationKind {
     ViewInconsistent,
     /// An event arrived for a session that already ended.
     AfterEnd,
+    /// The session exceeded its per-session quarantine budget: more
+    /// transport-faulty events than `quarantine_cap` allows.
+    QuarantineOverflow,
+    /// Processing an event for this session panicked twice (a poisoned
+    /// event); the session's state can no longer be trusted.
+    WorkerPanic,
 }
 
 impl fmt::Display for ViolationKind {
@@ -57,6 +64,10 @@ impl fmt::Display for ViolationKind {
             }
             ViolationKind::ViewInconsistent => write!(f, "projected trace leaves the view"),
             ViolationKind::AfterEnd => write!(f, "event after session end"),
+            ViolationKind::QuarantineOverflow => {
+                write!(f, "per-session quarantine budget exhausted")
+            }
+            ViolationKind::WorkerPanic => write!(f, "event processing panicked (poisoned)"),
         }
     }
 }
@@ -86,6 +97,8 @@ pub struct Session {
     pub events: u64,
     /// Whether the view observer ever degraded to three-valued answers.
     pub view_degraded: bool,
+    /// Transport-faulty events dropped for this session (lenient mode).
+    pub quarantined: u64,
 }
 
 impl Session {
@@ -101,12 +114,19 @@ impl Session {
                 .map(|_| ViewObserver::with_max_frontier(max_view_frontier)),
             events: 0,
             view_degraded: false,
+            quarantined: 0,
         }
     }
 
     /// The session's lifecycle status.
     pub fn status(&self) -> &SessionStatus {
         &self.status
+    }
+
+    /// Marks the session violated (engine use: quarantine-cap overflow and
+    /// poisoned-event eviction).
+    pub(crate) fn force_violation(&mut self, kind: ViolationKind) {
+        self.status = SessionStatus::Violated(kind);
     }
 
     /// Current control state, if any event has been consumed.
@@ -148,13 +168,39 @@ impl Session {
         &self.status
     }
 
+    /// The transport-level fault a step event would be rejected for,
+    /// checked without mutating any session state — the lenient
+    /// (quarantining) engine path classifies events with this before
+    /// deciding whether to feed them to [`step`](Self::step).
+    pub fn transport_fault(
+        &self,
+        spec: &CompiledSpec,
+        state: &str,
+        regs: &[Value],
+    ) -> Option<ViolationKind> {
+        if self.status != SessionStatus::Active {
+            return Some(ViolationKind::AfterEnd);
+        }
+        let k = spec.registers();
+        if regs.len() != k {
+            return Some(ViolationKind::Arity {
+                got: regs.len(),
+                want: k,
+            });
+        }
+        if spec.state_id(state).is_none() {
+            return Some(ViolationKind::UnknownState(state.to_string()));
+        }
+        None
+    }
+
     fn try_step(
         &mut self,
         spec: &CompiledSpec,
         state: &str,
         regs: &[Value],
     ) -> Option<ViolationKind> {
-        let k = spec.ext().ra().k() as usize;
+        let k = spec.registers();
         if regs.len() != k {
             return Some(ViolationKind::Arity {
                 got: regs.len(),
@@ -206,6 +252,86 @@ impl Session {
             self.status = SessionStatus::Ended;
         }
         &self.status
+    }
+
+    /// Serializes the complete mutable state — status, current
+    /// configuration, constraint-monitor slots, observer frontier, and the
+    /// bookkeeping counters — as JSON, so a restarted engine can resume
+    /// this session mid-stream via [`restore`](Self::restore).
+    pub fn snapshot(&self) -> Json {
+        json!({
+            "status": crate::snapshot::status_to_json(&self.status),
+            "cur": match &self.cur {
+                None => Json::Null,
+                Some((s, regs)) => json!({
+                    "state": s.0,
+                    "regs": regs.iter().map(|v| v.raw()).collect::<Vec<u64>>(),
+                }),
+            },
+            "monitor": crate::snapshot::slots_to_json(&self.monitor.export_slots()),
+            "observer": match &self.observer {
+                None => Json::Null,
+                Some(obs) => crate::snapshot::observer_to_json(&obs.export()),
+            },
+            "events": self.events,
+            "view_degraded": self.view_degraded,
+            "quarantined": self.quarantined,
+        })
+    }
+
+    /// Rebuilds a session from a [`snapshot`](Self::snapshot) against the
+    /// same compiled spec. The restored session continues exactly where
+    /// the snapshotted one stopped (asserted differentially by the
+    /// `stream_faults` suite).
+    pub fn restore(
+        spec: &CompiledSpec,
+        snap: &Json,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{err, json_to_observer, json_to_slots, status_from_json};
+        let status = status_from_json(&snap["status"])?;
+        let cur = match &snap["cur"] {
+            Json::Null => None,
+            cur => {
+                let sid = cur["state"]
+                    .as_u64()
+                    .ok_or_else(|| err("cur.state must be a state id"))?;
+                if sid as usize >= spec.ext().ra().num_states() {
+                    return Err(err("cur.state out of range for this spec"));
+                }
+                let regs: Vec<Value> = cur["regs"]
+                    .as_array()
+                    .ok_or_else(|| err("cur.regs must be an array"))?
+                    .iter()
+                    .map(|v| v.as_u64().map(Value).ok_or_else(|| err("bad register")))
+                    .collect::<Result<_, _>>()?;
+                if regs.len() != spec.registers() {
+                    return Err(err("cur.regs arity does not match the spec"));
+                }
+                Some((StateId(sid as u32), regs))
+            }
+        };
+        let monitor = ConstraintMonitor::from_slots(spec.ext(), &json_to_slots(&snap["monitor"])?)
+            .ok_or_else(|| err("monitor slots do not fit this spec"))?;
+        let observer = match (&snap["observer"], spec.view()) {
+            (Json::Null, _) => None,
+            (obs, Some(part)) => {
+                let exported: ObserverSnapshot = json_to_observer(obs)?;
+                Some(
+                    ViewObserver::from_snapshot(&part.view, &exported)
+                        .ok_or_else(|| err("observer snapshot does not fit the view"))?,
+                )
+            }
+            (_, None) => return Err(err("snapshot has an observer but the spec has no view")),
+        };
+        Ok(Session {
+            status,
+            cur,
+            monitor,
+            observer,
+            events: snap["events"].as_u64().unwrap_or(0),
+            view_degraded: snap["view_degraded"].as_bool().unwrap_or(false),
+            quarantined: snap["quarantined"].as_u64().unwrap_or(0),
+        })
     }
 }
 
@@ -288,6 +414,31 @@ trans b -> b :
     }
 
     #[test]
+    fn transport_faults_are_classified_without_mutation() {
+        let spec = two_state_spec(None);
+        let mut s = Session::new(&spec, 64);
+        s.step(&spec, "a", &[Value(1)]);
+        let before = s.snapshot();
+        assert!(matches!(
+            s.transport_fault(&spec, "a", &[Value(1), Value(2)]),
+            Some(ViolationKind::Arity { got: 2, want: 1 })
+        ));
+        assert!(matches!(
+            s.transport_fault(&spec, "nope", &[Value(1)]),
+            Some(ViolationKind::UnknownState(_))
+        ));
+        // A semantically-wrong but transport-clean event is NOT a
+        // transport fault (it must go through `step` and violate).
+        assert!(s.transport_fault(&spec, "a", &[Value(9)]).is_none());
+        assert_eq!(s.snapshot(), before, "classification must not mutate");
+        s.end();
+        assert!(matches!(
+            s.transport_fault(&spec, "a", &[Value(1)]),
+            Some(ViolationKind::AfterEnd)
+        ));
+    }
+
+    #[test]
     fn view_observer_rides_along() {
         let spec = two_state_spec(Some(1));
         let mut s = Session::new(&spec, 64);
@@ -295,5 +446,29 @@ trans b -> b :
         assert_eq!(s.step(&spec, "b", &[Value(9)]), &SessionStatus::Active);
         assert_eq!(s.step(&spec, "b", &[Value(2)]), &SessionStatus::Active);
         assert!(s.resident_size() > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically_with_view() {
+        let spec = two_state_spec(Some(1));
+        let mut s = Session::new(&spec, 64);
+        s.step(&spec, "a", &[Value(5)]);
+        s.step(&spec, "a", &[Value(5)]);
+        // Serialize through actual JSON text, as a restart would.
+        let text = serde_json::to_string(&s.snapshot()).unwrap();
+        let snap = serde_json::from_str(&text).unwrap();
+        let mut r = Session::restore(&spec, &snap).expect("restore");
+        assert_eq!(r.events, s.events);
+        assert_eq!(r.state(), s.state());
+        for (state, v) in [("b", 9u64), ("b", 2), ("a", 2)] {
+            assert_eq!(
+                s.step(&spec, state, &[Value(v)]),
+                r.step(&spec, state, &[Value(v)]),
+                "restored session diverged at {state}({v})"
+            );
+        }
+        // Corrupt snapshots are rejected with an error, not a panic.
+        let bad = serde_json::from_str(r#"{"status": {"kind": "???"}}"#).unwrap();
+        assert!(Session::restore(&spec, &bad).is_err());
     }
 }

@@ -1,0 +1,312 @@
+//! The deterministic simulation scheduler.
+//!
+//! [`SimScheduler`] runs the whole engine on the calling thread: shard
+//! queues are plain `VecDeque`s, the clock is a [`SimClock`] that moves
+//! only when the simulation spends time, and every nondeterministic choice
+//! the threaded scheduler leaves to the OS — which shard a worker polls
+//! next, how long an event waits in its queue, how long processing takes,
+//! which deliveries a fault hits — is drawn from one RNG seeded by
+//! `seed ^ fault-plan seed`. The same `(spec, config, seed)` therefore
+//! replays bit-for-bit: identical outcome sets, quarantine counts, and
+//! metrics snapshots on every run, which CI asserts across five runs.
+//!
+//! Per-session event order is still FIFO (each queue pops from the front),
+//! so the simulation explores exactly the interleavings the sharded
+//! threaded engine could produce — cross-shard orderings — and no others.
+//!
+//! [`SimScheduler::checkpoint`] first drains every queue (graceful
+//! failover: in-flight events are flushed, not lost), then serializes all
+//! live sessions and closed outcomes via the [`snapshot`](crate::snapshot)
+//! codecs. [`SimScheduler::restore`] rebuilds an engine from such a
+//! snapshot — re-routing sessions by hash, so the shard count may change
+//! across the restart — and the `stream_faults` suite asserts that a
+//! crashed-and-restored run reaches the same verdicts as an uninterrupted
+//! one.
+
+use crate::clock::{Clock, SimClock};
+use crate::engine::{
+    make_report, process, report_shards, shard_index, EngineConfig, EngineReport, ShardState,
+    SubmitError,
+};
+use crate::event::Event;
+use crate::fault::FaultInjector;
+use crate::metrics::EngineMetrics;
+use crate::scheduler::Scheduler;
+use crate::session::Session;
+use crate::snapshot::{err, outcome_from_json, outcome_to_json, SnapshotError, SNAPSHOT_VERSION};
+use crate::spec::CompiledSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value as Json};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Queue-wait jitter drawn per delivery, in nanoseconds.
+const QUEUE_JITTER_NS: std::ops::Range<u64> = 50..2_000;
+/// Processing-time jitter drawn per delivery, in nanoseconds.
+const PROCESS_JITTER_NS: std::ops::Range<u64> = 200..5_000;
+/// Maximum number of deliveries drained opportunistically after a submit.
+const MAX_BURST: u64 = 4;
+
+/// An event sitting in a simulated shard queue.
+struct QueuedEvent {
+    event: Event,
+    submitted_ns: u64,
+    fault_immune: bool,
+}
+
+/// The single-threaded deterministic scheduler. See the module docs.
+pub struct SimScheduler {
+    spec: Arc<CompiledSpec>,
+    metrics: Arc<EngineMetrics>,
+    clock: SimClock,
+    rng: StdRng,
+    worker_faults: FaultInjector,
+    producer_faults: FaultInjector,
+    queues: Vec<VecDeque<QueuedEvent>>,
+    shards: Vec<ShardState>,
+    registers: usize,
+    max_frontier: usize,
+    quarantine_cap: u64,
+    queue_capacity: usize,
+    /// Set once the simulated respawn budget is exhausted: the "workers"
+    /// are dead and every further submit fails fast.
+    dead: bool,
+}
+
+impl SimScheduler {
+    /// Builds the simulation. `seed` is xor-ed into the fault plan's own
+    /// seed so one knob replays everything.
+    pub fn start(spec: Arc<CompiledSpec>, config: EngineConfig, seed: u64) -> SimScheduler {
+        Self::build(spec, config, seed, SimClock::new())
+    }
+
+    fn build(
+        spec: Arc<CompiledSpec>,
+        config: EngineConfig,
+        seed: u64,
+        clock: SimClock,
+    ) -> SimScheduler {
+        let shards = config.shards.max(1);
+        let mut plan = config.fault.clone();
+        plan.seed ^= seed;
+        SimScheduler {
+            registers: spec.registers(),
+            spec,
+            metrics: Arc::new(EngineMetrics::default()),
+            clock,
+            rng: StdRng::seed_from_u64(seed),
+            worker_faults: FaultInjector::new(&plan, 0),
+            producer_faults: FaultInjector::new(&plan, u64::MAX),
+            queues: (0..shards).map(|_| VecDeque::new()).collect(),
+            shards: (0..shards).map(|_| ShardState::default()).collect(),
+            max_frontier: config.max_view_frontier,
+            quarantine_cap: config.quarantine_cap,
+            queue_capacity: config.queue_capacity.max(1),
+            dead: false,
+        }
+    }
+
+    /// Rebuilds a simulation from a [`checkpoint`](Scheduler::checkpoint).
+    /// Sessions and closed outcomes are re-routed by hash, so `config` may
+    /// shard differently than the checkpointing engine did. The RNG is
+    /// reseeded (randomness is not part of the persisted state), so only
+    /// *verdicts* — not latency jitter — are comparable across a restart.
+    pub fn restore(
+        spec: Arc<CompiledSpec>,
+        config: EngineConfig,
+        seed: u64,
+        snapshot: &Json,
+    ) -> Result<SimScheduler, SnapshotError> {
+        if snapshot["version"].as_u64() != Some(SNAPSHOT_VERSION) {
+            return Err(err("unsupported snapshot version"));
+        }
+        let clock_ns = snapshot["clock_ns"]
+            .as_u64()
+            .ok_or_else(|| err("clock_ns must be a number"))?;
+        let mut sim = Self::build(spec, config, seed, SimClock::at(clock_ns));
+        let n = sim.shards.len();
+        for entry in snapshot["live"]
+            .as_array()
+            .ok_or_else(|| err("live must be an array"))?
+        {
+            let name = entry["session"]
+                .as_str()
+                .ok_or_else(|| err("live session must be named"))?
+                .to_string();
+            let session = Session::restore(&sim.spec, &entry["state"])?;
+            sim.metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
+            sim.metrics.session_in();
+            let shard = shard_index(&name, n);
+            if sim.shards[shard].live.insert(name, session).is_some() {
+                return Err(err("duplicate live session"));
+            }
+        }
+        for entry in snapshot["closed"]
+            .as_array()
+            .ok_or_else(|| err("closed must be an array"))?
+        {
+            let outcome = outcome_from_json(entry)?;
+            let shard = shard_index(&outcome.session, n);
+            if sim.shards[shard]
+                .closed
+                .insert(outcome.session.clone(), outcome)
+                .is_some()
+            {
+                return Err(err("duplicate closed session"));
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Delivers the front event of `shard_idx`, spending simulated time
+    /// and drawing faults exactly where the threaded worker would.
+    fn deliver_front(&mut self, shard_idx: usize) {
+        let Some(q) = self.queues[shard_idx].pop_front() else {
+            return;
+        };
+        self.clock.advance(self.rng.gen_range(QUEUE_JITTER_NS));
+        self.metrics
+            .queue_latency
+            .record_ns(self.clock.now_ns().saturating_sub(q.submitted_ns));
+        if self.worker_faults.is_active() && !q.fault_immune {
+            if let Some(ns) = self.worker_faults.stall_ns() {
+                self.clock.stall(ns);
+            }
+            if self.worker_faults.should_panic() {
+                // The simulated worker "panics" before touching session
+                // state, respawns, and retries the event as immune — the
+                // same recovery the threaded scheduler performs, minus the
+                // actual unwinding.
+                self.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if !self.worker_faults.respawn() {
+                    self.dead = true;
+                    return; // the event dies with the worker pool
+                }
+            }
+        }
+        let started = self.clock.now_ns();
+        process(
+            &self.spec,
+            &self.metrics,
+            &mut self.shards[shard_idx],
+            q.event,
+            self.max_frontier,
+            self.quarantine_cap,
+        );
+        self.clock.advance(self.rng.gen_range(PROCESS_JITTER_NS));
+        self.metrics
+            .process_latency
+            .record_ns(self.clock.now_ns().saturating_sub(started));
+        self.metrics
+            .events_processed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Delivers one event from an RNG-chosen non-empty shard. Returns
+    /// whether anything was delivered.
+    fn poll_one(&mut self) -> bool {
+        let nonempty: Vec<usize> = (0..self.queues.len())
+            .filter(|&i| !self.queues[i].is_empty())
+            .collect();
+        if nonempty.is_empty() {
+            return false;
+        }
+        let pick = nonempty[self.rng.gen_range(0..nonempty.len())];
+        self.deliver_front(pick);
+        true
+    }
+
+    /// Drains every queue.
+    fn drain(&mut self) {
+        while !self.dead && self.poll_one() {}
+    }
+
+    fn enqueue(&mut self, event: Event) {
+        let shard = shard_index(event.session(), self.queues.len());
+        // Bounded queues: a full shard back-pressures the producer, which
+        // in the simulation means delivering from that shard until there
+        // is room (the threaded engine blocks the producer the same way).
+        while !self.dead && self.queues[shard].len() >= self.queue_capacity {
+            self.deliver_front(shard);
+        }
+        self.metrics
+            .events_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.queues[shard].push_back(QueuedEvent {
+            event,
+            submitted_ns: self.clock.now_ns(),
+            fault_immune: false,
+        });
+    }
+}
+
+impl Scheduler for SimScheduler {
+    fn submit(&mut self, event: Event) -> Result<(), SubmitError> {
+        if self.dead {
+            self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::WorkersDead);
+        }
+        if let Event::Step { regs, .. } = &event {
+            if regs.len() != self.registers {
+                self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Arity {
+                    got: regs.len(),
+                    want: self.registers,
+                });
+            }
+        }
+        let injected = self.producer_faults.injected_copies(&event);
+        self.enqueue(event);
+        for copy in injected {
+            self.enqueue(copy);
+        }
+        // Interleave: drain an RNG-sized burst so queue occupancy — and
+        // with it the explored cross-shard orderings — varies by seed.
+        let burst = self.rng.gen_range(0..MAX_BURST);
+        for _ in 0..burst {
+            if self.dead || !self.poll_one() {
+                break;
+            }
+        }
+        if self.dead {
+            self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::WorkersDead);
+        }
+        Ok(())
+    }
+
+    fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    fn checkpoint(&mut self) -> Option<Json> {
+        self.drain();
+        let mut live: Vec<(&String, &Session)> =
+            self.shards.iter().flat_map(|s| s.live.iter()).collect();
+        live.sort_by(|a, b| a.0.cmp(b.0));
+        let mut closed: Vec<&crate::engine::SessionOutcome> =
+            self.shards.iter().flat_map(|s| s.closed.values()).collect();
+        closed.sort_by(|a, b| a.session.cmp(&b.session));
+        Some(json!({
+            "version": SNAPSHOT_VERSION,
+            "clock_ns": self.clock.now_ns(),
+            "live": Json::Array(
+                live.iter()
+                    .map(|(name, session)| json!({
+                        "session": (*name).clone(),
+                        "state": session.snapshot(),
+                    }))
+                    .collect(),
+            ),
+            "closed": Json::Array(closed.iter().map(|o| outcome_to_json(o)).collect()),
+        }))
+    }
+
+    fn finish(mut self: Box<Self>) -> EngineReport {
+        self.drain();
+        let shards = std::mem::take(&mut self.shards);
+        make_report(report_shards(&self.metrics, shards), self.metrics)
+    }
+}

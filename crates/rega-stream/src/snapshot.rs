@@ -1,0 +1,322 @@
+//! JSON codecs for engine snapshots.
+//!
+//! A snapshot captures everything needed to resume monitoring after a
+//! crash or planned restart: per-session monitor/observer state (via
+//! [`Session::snapshot`](crate::session::Session::snapshot)), the outcomes
+//! of already-closed sessions, and the simulated clock. The format is
+//! plain JSON (the vendored `serde_json` has no derive support, so every
+//! codec is written out), shard-count independent — sessions are re-routed
+//! by hash on restore — and versioned.
+//!
+//! Decoding is total: corrupt snapshots produce a [`SnapshotError`], never
+//! a panic, and structurally valid snapshots that do not fit the spec
+//! (wrong arity, out-of-range state) are rejected too.
+
+use crate::session::{SessionStatus, ViolationKind};
+use rega_core::StateId;
+use rega_data::Value;
+use rega_views::ObserverSnapshot;
+use serde_json::{json, Value as Json};
+use std::fmt;
+
+/// Version tag written into engine snapshots; restore rejects others.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Why a snapshot could not be decoded or does not fit the spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Shorthand constructor used throughout the decoders.
+pub(crate) fn err(msg: &str) -> SnapshotError {
+    SnapshotError(msg.to_string())
+}
+
+pub(crate) fn status_to_json(status: &SessionStatus) -> Json {
+    match status {
+        SessionStatus::Active => json!({"kind": "active"}),
+        SessionStatus::Ended => json!({"kind": "ended"}),
+        SessionStatus::Violated(v) => json!({
+            "kind": "violated",
+            "violation": violation_to_json(v),
+        }),
+    }
+}
+
+pub(crate) fn status_from_json(j: &Json) -> Result<SessionStatus, SnapshotError> {
+    match j["kind"].as_str() {
+        Some("active") => Ok(SessionStatus::Active),
+        Some("ended") => Ok(SessionStatus::Ended),
+        Some("violated") => Ok(SessionStatus::Violated(violation_from_json(
+            &j["violation"],
+        )?)),
+        _ => Err(err("unknown status kind")),
+    }
+}
+
+pub(crate) fn violation_to_json(v: &ViolationKind) -> Json {
+    match v {
+        ViolationKind::UnknownState(s) => json!({"kind": "unknown_state", "state": s.clone()}),
+        ViolationKind::NotInitial(s) => json!({"kind": "not_initial", "state": s.clone()}),
+        ViolationKind::Arity { got, want } => json!({"kind": "arity", "got": *got, "want": *want}),
+        ViolationKind::NoTransition { from, to } => {
+            json!({"kind": "no_transition", "from": from.clone(), "to": to.clone()})
+        }
+        ViolationKind::Constraint { constraint } => {
+            json!({"kind": "constraint", "constraint": *constraint})
+        }
+        ViolationKind::ViewInconsistent => json!({"kind": "view_inconsistent"}),
+        ViolationKind::AfterEnd => json!({"kind": "after_end"}),
+        ViolationKind::QuarantineOverflow => json!({"kind": "quarantine_overflow"}),
+        ViolationKind::WorkerPanic => json!({"kind": "worker_panic"}),
+    }
+}
+
+pub(crate) fn violation_from_json(j: &Json) -> Result<ViolationKind, SnapshotError> {
+    let string = |field: &str| -> Result<String, SnapshotError> {
+        j[field]
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| err("violation field must be a string"))
+    };
+    let number = |field: &str| -> Result<u64, SnapshotError> {
+        j[field]
+            .as_u64()
+            .ok_or_else(|| err("violation field must be a number"))
+    };
+    match j["kind"].as_str() {
+        Some("unknown_state") => Ok(ViolationKind::UnknownState(string("state")?)),
+        Some("not_initial") => Ok(ViolationKind::NotInitial(string("state")?)),
+        Some("arity") => Ok(ViolationKind::Arity {
+            got: number("got")? as usize,
+            want: number("want")? as usize,
+        }),
+        Some("no_transition") => Ok(ViolationKind::NoTransition {
+            from: string("from")?,
+            to: string("to")?,
+        }),
+        Some("constraint") => Ok(ViolationKind::Constraint {
+            constraint: number("constraint")? as usize,
+        }),
+        Some("view_inconsistent") => Ok(ViolationKind::ViewInconsistent),
+        Some("after_end") => Ok(ViolationKind::AfterEnd),
+        Some("quarantine_overflow") => Ok(ViolationKind::QuarantineOverflow),
+        Some("worker_panic") => Ok(ViolationKind::WorkerPanic),
+        _ => Err(err("unknown violation kind")),
+    }
+}
+
+/// Encodes exported constraint-monitor slots
+/// (`Vec<Vec<(dfa_state, values)>>`) as nested JSON arrays.
+pub(crate) fn slots_to_json(slots: &[Vec<(usize, Vec<Value>)>]) -> Json {
+    Json::Array(
+        slots
+            .iter()
+            .map(|per_constraint| {
+                Json::Array(
+                    per_constraint
+                        .iter()
+                        .map(|(s, vals)| {
+                            json!([*s, vals.iter().map(|v| v.raw()).collect::<Vec<u64>>()])
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[allow(clippy::type_complexity)]
+pub(crate) fn json_to_slots(j: &Json) -> Result<Vec<Vec<(usize, Vec<Value>)>>, SnapshotError> {
+    j.as_array()
+        .ok_or_else(|| err("monitor slots must be an array"))?
+        .iter()
+        .map(|per_constraint| {
+            per_constraint
+                .as_array()
+                .ok_or_else(|| err("constraint slots must be an array"))?
+                .iter()
+                .map(|pair| {
+                    let s = pair[0]
+                        .as_u64()
+                        .ok_or_else(|| err("slot state must be a number"))?;
+                    let vals = pair[1]
+                        .as_array()
+                        .ok_or_else(|| err("slot values must be an array"))?
+                        .iter()
+                        .map(|v| v.as_u64().map(Value).ok_or_else(|| err("bad slot value")))
+                        .collect::<Result<Vec<Value>, _>>()?;
+                    Ok((s as usize, vals))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+pub(crate) fn outcome_to_json(o: &crate::engine::SessionOutcome) -> Json {
+    json!({
+        "session": o.session.clone(),
+        "status": status_to_json(&o.status),
+        "events": o.events,
+        "view_degraded": o.view_degraded,
+        "quarantined": o.quarantined,
+    })
+}
+
+pub(crate) fn outcome_from_json(j: &Json) -> Result<crate::engine::SessionOutcome, SnapshotError> {
+    Ok(crate::engine::SessionOutcome {
+        session: j["session"]
+            .as_str()
+            .ok_or_else(|| err("outcome session must be a string"))?
+            .to_string(),
+        status: status_from_json(&j["status"])?,
+        events: j["events"]
+            .as_u64()
+            .ok_or_else(|| err("outcome events must be a number"))?,
+        view_degraded: j["view_degraded"]
+            .as_bool()
+            .ok_or_else(|| err("outcome view_degraded must be a bool"))?,
+        quarantined: j["quarantined"].as_u64().unwrap_or(0),
+    })
+}
+
+pub(crate) fn observer_to_json(snap: &ObserverSnapshot) -> Json {
+    json!({
+        "frontier": Json::Array(
+            snap.frontier
+                .iter()
+                .map(|(s, slots)| json!([s.0, slots_to_json(slots)]))
+                .collect(),
+        ),
+        "last_regs": match &snap.last_regs {
+            None => Json::Null,
+            Some(regs) => json!(regs.iter().map(|v| v.raw()).collect::<Vec<u64>>()),
+        },
+        "max_frontier": snap.max_frontier,
+        "overflowed": snap.overflowed,
+        "dead": snap.dead,
+    })
+}
+
+pub(crate) fn json_to_observer(j: &Json) -> Result<ObserverSnapshot, SnapshotError> {
+    let frontier = j["frontier"]
+        .as_array()
+        .ok_or_else(|| err("observer frontier must be an array"))?
+        .iter()
+        .map(|pair| {
+            let s = pair[0]
+                .as_u64()
+                .ok_or_else(|| err("frontier state must be a number"))?;
+            if s > u64::from(u32::MAX) {
+                return Err(err("frontier state out of range"));
+            }
+            Ok((StateId(s as u32), json_to_slots(&pair[1])?))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let last_regs = match &j["last_regs"] {
+        Json::Null => None,
+        regs => Some(
+            regs.as_array()
+                .ok_or_else(|| err("last_regs must be an array"))?
+                .iter()
+                .map(|v| v.as_u64().map(Value).ok_or_else(|| err("bad register")))
+                .collect::<Result<Vec<Value>, _>>()?,
+        ),
+    };
+    Ok(ObserverSnapshot {
+        frontier,
+        last_regs,
+        max_frontier: j["max_frontier"]
+            .as_u64()
+            .ok_or_else(|| err("max_frontier must be a number"))? as usize,
+        overflowed: j["overflowed"]
+            .as_bool()
+            .ok_or_else(|| err("overflowed must be a bool"))?,
+        dead: j["dead"]
+            .as_bool()
+            .ok_or_else(|| err("dead must be a bool"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_round_trips_every_variant() {
+        for status in [
+            SessionStatus::Active,
+            SessionStatus::Ended,
+            SessionStatus::Violated(ViolationKind::UnknownState("x".into())),
+            SessionStatus::Violated(ViolationKind::NotInitial("x".into())),
+            SessionStatus::Violated(ViolationKind::Arity { got: 1, want: 2 }),
+            SessionStatus::Violated(ViolationKind::NoTransition {
+                from: "a".into(),
+                to: "b".into(),
+            }),
+            SessionStatus::Violated(ViolationKind::Constraint { constraint: 3 }),
+            SessionStatus::Violated(ViolationKind::ViewInconsistent),
+            SessionStatus::Violated(ViolationKind::AfterEnd),
+            SessionStatus::Violated(ViolationKind::QuarantineOverflow),
+            SessionStatus::Violated(ViolationKind::WorkerPanic),
+        ] {
+            let text = serde_json::to_string(&status_to_json(&status)).unwrap();
+            let back = status_from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back, status);
+        }
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error_not_a_panic() {
+        for bad in [
+            r#"{"kind": "nope"}"#,
+            r#"{"kind": "violated", "violation": {"kind": "arity", "got": "x"}}"#,
+            r#"{}"#,
+            r#"[1, 2]"#,
+            r#"7"#,
+        ] {
+            let j: Json = serde_json::from_str(bad).unwrap();
+            assert!(status_from_json(&j).is_err(), "should reject: {bad}");
+            assert!(violation_from_json(&j).is_err(), "should reject: {bad}");
+            assert!(json_to_observer(&j).is_err(), "should reject: {bad}");
+        }
+        assert!(json_to_slots(&serde_json::from_str("{}").unwrap()).is_err());
+        assert!(json_to_slots(&serde_json::from_str(r#"[[["x", []]]]"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slots_round_trip() {
+        let slots = vec![
+            vec![(0usize, vec![Value(3), Value(9)]), (2, vec![])],
+            vec![],
+        ];
+        let text = serde_json::to_string(&slots_to_json(&slots)).unwrap();
+        let back = json_to_slots(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, slots);
+    }
+
+    #[test]
+    fn observer_snapshot_round_trips() {
+        let snap = ObserverSnapshot {
+            frontier: vec![(StateId(1), vec![vec![(0, vec![Value(4)])]])],
+            last_regs: Some(vec![Value(7)]),
+            max_frontier: 32,
+            overflowed: false,
+            dead: false,
+        };
+        let text = serde_json::to_string(&observer_to_json(&snap)).unwrap();
+        let back = json_to_observer(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.frontier, snap.frontier);
+        assert_eq!(back.last_regs, snap.last_regs);
+        assert_eq!(back.max_frontier, snap.max_frontier);
+        assert_eq!(back.overflowed, snap.overflowed);
+        assert_eq!(back.dead, snap.dead);
+    }
+}

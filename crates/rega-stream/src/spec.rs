@@ -99,6 +99,12 @@ impl CompiledSpec {
         self.state_by_name.get(name).copied()
     }
 
+    /// The automaton's register count — the arity every step event's
+    /// register tuple must have.
+    pub fn registers(&self) -> usize {
+        self.ext.ra().k() as usize
+    }
+
     /// The transitions leading from `from` to `to` (empty if none).
     pub fn edges(&self, from: StateId, to: StateId) -> &[TransId] {
         self.edges

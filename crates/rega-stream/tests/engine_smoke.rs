@@ -25,13 +25,14 @@ trans done -> done :
 #[test]
 fn verdicts_are_per_session_and_order_preserving() {
     let spec = counter_spec();
-    let engine = Engine::start(
+    let mut engine = Engine::start(
         spec,
         EngineConfig {
             shards: 4,
             workers: 2,
             queue_capacity: 16,
             max_view_frontier: 16,
+            ..EngineConfig::default()
         },
     );
     // good: run(1) run(1) done(2) end — valid and ended
@@ -47,7 +48,7 @@ fn verdicts_are_per_session_and_order_preserving() {
         r#"{"session": "good", "end": true}"#,
         r#"{"session": "bad", "state": "run", "regs": [2]}"#, // after eviction
     ] {
-        engine.submit(parse_event(line).unwrap());
+        engine.submit(parse_event(line).unwrap()).unwrap();
     }
     let report = engine.finish();
     assert_eq!(report.outcomes.len(), 3);
@@ -83,13 +84,14 @@ fn hundred_thousand_events_thousand_sessions_bounded_memory() {
     const STEPS: usize = 49; // + end event = 50 events/session
 
     let spec = counter_spec();
-    let engine = Engine::start(
+    let mut engine = Engine::start(
         spec,
         EngineConfig {
             shards: 8,
             workers: 4,
             queue_capacity: 256,
             max_view_frontier: 16,
+            ..EngineConfig::default()
         },
     );
     let mut submitted = 0u64;
@@ -100,7 +102,7 @@ fn hundred_thousand_events_thousand_sessions_bounded_memory() {
             for s in 0..WAVE_SESSIONS {
                 let id = wave * WAVE_SESSIONS + s;
                 let line = format!(r#"{{"session": "s{id}", "state": "run", "regs": [{id}]}}"#);
-                engine.submit(parse_event(&line).unwrap());
+                engine.submit(parse_event(&line).unwrap()).unwrap();
                 submitted += 1;
                 let _ = step;
             }
@@ -108,7 +110,7 @@ fn hundred_thousand_events_thousand_sessions_bounded_memory() {
         for s in 0..WAVE_SESSIONS {
             let id = wave * WAVE_SESSIONS + s;
             let line = format!(r#"{{"session": "s{id}", "end": true}}"#);
-            engine.submit(parse_event(&line).unwrap());
+            engine.submit(parse_event(&line).unwrap()).unwrap();
             submitted += 1;
         }
     }
@@ -144,18 +146,19 @@ fn hundred_thousand_events_thousand_sessions_bounded_memory() {
 fn backpressure_blocks_instead_of_dropping() {
     // A tiny queue with a slow consumer still delivers everything.
     let spec = counter_spec();
-    let engine = Engine::start(
+    let mut engine = Engine::start(
         spec,
         EngineConfig {
             shards: 1,
             workers: 1,
             queue_capacity: 2,
             max_view_frontier: 4,
+            ..EngineConfig::default()
         },
     );
     for i in 0..500 {
         let line = format!(r#"{{"session": "only", "state": "run", "regs": [{}]}}"#, 42);
-        engine.submit(parse_event(&line).unwrap());
+        engine.submit(parse_event(&line).unwrap()).unwrap();
         let _ = i;
     }
     let report = engine.finish();

@@ -39,7 +39,7 @@ pub mod prop6;
 pub mod thm13;
 pub mod thm24;
 
-pub use observer::{Verdict, ViewObserver};
+pub use observer::{ObserverSnapshot, Verdict, ViewObserver};
 pub use prop20::{project_register_automaton, Projection};
 pub use prop6::eliminate_global_equalities;
 pub use thm13::project_extended;

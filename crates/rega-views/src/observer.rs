@@ -22,7 +22,7 @@
 //! (`Unknown` instead of `Violation` once configurations may have been
 //! dropped).
 
-use rega_core::monitor::ConstraintMonitor;
+use rega_core::monitor::{ConstraintMonitor, ExportedSlots};
 use rega_core::{ExtendedAutomaton, StateId};
 use rega_data::{Database, Value};
 use std::collections::BTreeSet;
@@ -163,6 +163,66 @@ impl ViewObserver {
             Verdict::Violation
         }
     }
+
+    /// Exports the observer state as plain data (see [`ObserverSnapshot`]);
+    /// the inverse of [`from_snapshot`](Self::from_snapshot).
+    pub fn export(&self) -> ObserverSnapshot {
+        ObserverSnapshot {
+            frontier: self
+                .frontier
+                .iter()
+                .map(|(s, m)| (*s, m.export_slots()))
+                .collect(),
+            last_regs: self.last_regs.clone(),
+            max_frontier: self.max_frontier,
+            overflowed: self.overflowed,
+            dead: self.dead,
+        }
+    }
+
+    /// Rebuilds an observer from an exported snapshot against the same view
+    /// automaton. Returns `None` when the snapshot does not fit `view`
+    /// (out-of-range control state or malformed monitor slots).
+    pub fn from_snapshot(view: &ExtendedAutomaton, snap: &ObserverSnapshot) -> Option<Self> {
+        let mut frontier = Vec::with_capacity(snap.frontier.len());
+        for (state, slots) in &snap.frontier {
+            if state.0 as usize >= view.ra().num_states() {
+                return None;
+            }
+            frontier.push((*state, ConstraintMonitor::from_slots(view, slots)?));
+        }
+        if let Some(regs) = &snap.last_regs {
+            if regs.len() != view.ra().k() as usize {
+                return None;
+            }
+        }
+        Some(ViewObserver {
+            frontier,
+            last_regs: snap.last_regs.clone(),
+            max_frontier: snap.max_frontier.max(1),
+            overflowed: snap.overflowed,
+            dead: snap.dead,
+        })
+    }
+}
+
+/// A plain-data export of a [`ViewObserver`]'s state, for snapshot /
+/// restore of in-flight streaming sessions. The monitor states use the
+/// sparse-slot encoding of
+/// [`ConstraintMonitor::export_slots`](rega_core::monitor::ConstraintMonitor::export_slots);
+/// serialization to a wire format is the caller's concern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObserverSnapshot {
+    /// The tracked (control state, monitor slots) configurations.
+    pub frontier: Vec<(StateId, ExportedSlots)>,
+    /// The previously observed visible tuple, if any.
+    pub last_regs: Option<Vec<Value>>,
+    /// The frontier bound.
+    pub max_frontier: usize,
+    /// Whether the bound was ever hit.
+    pub overflowed: bool,
+    /// Whether the frontier emptied (verdicts are terminal).
+    pub dead: bool,
 }
 
 impl Default for ViewObserver {
@@ -265,6 +325,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_resumes_identically() {
+        let ext = keep_then_free();
+        let db = Database::new(Schema::empty());
+        let mut obs = ViewObserver::new();
+        assert_eq!(obs.observe(&ext, &db, &[Value(7)]), Verdict::Consistent);
+        assert_eq!(obs.observe(&ext, &db, &[Value(7)]), Verdict::Consistent);
+        let snap = obs.export();
+        let mut restored = ViewObserver::from_snapshot(&ext, &snap).expect("round-trip");
+        assert_eq!(restored.frontier_size(), obs.frontier_size());
+        assert_eq!(restored.possible_states(), obs.possible_states());
+        // Both must answer identically from here on, including a violation.
+        for v in [9u64, 9, 3] {
+            assert_eq!(
+                obs.observe(&ext, &db, &[Value(v)]),
+                restored.observe(&ext, &db, &[Value(v)]),
+                "restored observer diverged"
+            );
+        }
+        // A snapshot naming a state the view does not have is rejected.
+        let mut bad = snap.clone();
+        bad.frontier.push((StateId(999), Vec::new()));
+        assert!(ViewObserver::from_snapshot(&ext, &bad).is_none());
     }
 
     #[test]

@@ -151,26 +151,29 @@ proptest! {
         let spec = Arc::new(
             CompiledSpec::compile(ext, db, None).unwrap()
         );
-        let engine = Engine::start(spec, EngineConfig {
+        let mut engine = Engine::start(spec, EngineConfig {
             shards,
             workers,
             queue_capacity: 8,
             max_view_frontier: 8,
+            ..EngineConfig::default()
         });
         let mut queues: Vec<std::collections::VecDeque<SessEvent>> = sessions
             .iter()
             .map(|s| s.events().into())
             .collect();
-        let submit = |engine: &Engine, sess: usize, ev: SessEvent| {
+        let submit = |engine: &mut Engine, sess: usize, ev: SessEvent| {
             let session = format!("s{sess}");
-            engine.submit(match ev {
-                SessEvent::End => Event::End { session },
-                SessEvent::Step(state, regs) => Event::Step {
-                    session,
-                    state: state.to_string(),
-                    regs,
-                },
-            });
+            engine
+                .submit(match ev {
+                    SessEvent::End => Event::End { session },
+                    SessEvent::Step(state, regs) => Event::Step {
+                        session,
+                        state: state.to_string(),
+                        regs,
+                    },
+                })
+                .expect("submit");
         };
         for &p in &picks {
             let nonempty: Vec<usize> = (0..queues.len())
@@ -181,11 +184,11 @@ proptest! {
             }
             let sess = nonempty[p % nonempty.len()];
             let ev = queues[sess].pop_front().unwrap();
-            submit(&engine, sess, ev);
+            submit(&mut engine, sess, ev);
         }
         for (sess, queue) in queues.iter_mut().enumerate() {
             while let Some(ev) = queue.pop_front() {
-                submit(&engine, sess, ev);
+                submit(&mut engine, sess, ev);
             }
         }
         let report = engine.finish();

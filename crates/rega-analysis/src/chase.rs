@@ -16,7 +16,7 @@
 
 use crate::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict, Witness};
 use rega_core::{CoreError, ExtendedAutomaton};
-use rega_data::{Database, Value};
+use rega_data::{Database, SatCache, Value};
 use std::collections::HashMap;
 
 /// A finite database together with the lasso witnesses realizable over it.
@@ -45,7 +45,10 @@ pub fn universal_witness_database(
     // a restricted automaton is equally complex. The pragmatic route:
     // `check_emptiness` returns the first witness; we then diversify by
     // collecting witnesses for every accepting lasso via the public API.
-    let nba = rega_core::symbolic::scontrol_nba(ext.ra())?;
+    // One `SatCache` serves the `SControl` construction and every
+    // per-lasso structure build below.
+    let cache = SatCache::new(ext.ra().schema().clone());
+    let nba = rega_core::symbolic::scontrol_nba_cached(ext.ra(), &cache)?;
     let lassos = rega_automata::emptiness::enumerate_accepting_lassos(
         &nba,
         opts.max_lassos,
@@ -58,7 +61,8 @@ pub fn universal_witness_database(
         // Run the emptiness pipeline on just this lasso by temporarily
         // treating it as the only candidate: reuse the internal helpers via
         // a single-candidate check.
-        let Some(w) = crate::emptiness::witness_for_lasso(ext, &control, opts)? else {
+        let Some(w) = crate::emptiness::witness_for_lasso_cached(ext, &control, opts, &cache)?
+        else {
             continue;
         };
         // Re-base values into a fresh range.

@@ -17,8 +17,9 @@
 use rega_automata::Lasso;
 use rega_core::extended::ConstraintKind;
 use rega_core::{CoreError, ExtendedAutomaton, TransId};
-use rega_data::Term;
+use rega_data::{SatCache, Term};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Budgets for the stabilized structure computation.
 #[derive(Clone, Copy, Debug)]
@@ -101,6 +102,21 @@ impl ClassStructure {
         w: &Lasso<TransId>,
         horizon: usize,
     ) -> Result<ClassStructure, CoreError> {
+        Self::build_cached(ext, w, horizon, &SatCache::new(ext.ra().schema().clone()))
+    }
+
+    /// [`ClassStructure::build`] with the per-transition type analyses
+    /// memoized in `cache`. [`ClassStructure::build_stable`] re-builds the
+    /// structure at a growing horizon until the window signature
+    /// stabilizes; with a shared cache each distinct type is analyzed once
+    /// across all horizons (and across all lassos of an emptiness search)
+    /// instead of once per build.
+    pub fn build_cached(
+        ext: &ExtendedAutomaton,
+        w: &Lasso<TransId>,
+        horizon: usize,
+        cache: &SatCache,
+    ) -> Result<ClassStructure, CoreError> {
         let ra = ext.ra();
         let k = ra.k() as usize;
         let num_consts = ra.schema().num_constants();
@@ -140,13 +156,14 @@ impl ClassStructure {
             }
         };
 
-        // Per-position type analyses (memoized per transition id).
-        let mut analyses: Vec<Option<rega_data::types::TypeAnalysis>> =
+        // Per-position type analyses (shared through the `SatCache`, so
+        // repeated builds at growing horizons analyze each type once).
+        let mut analyses: Vec<Option<Arc<rega_data::types::TypeAnalysis>>> =
             vec![None; ra.num_transitions()];
         for n in 0..horizon {
             let t = *w.at(n);
             if analyses[t.idx()].is_none() {
-                analyses[t.idx()] = Some(ra.transition(t).ty.analyze(ra.schema())?);
+                analyses[t.idx()] = Some(cache.analyze(&ra.transition(t).ty)?);
             }
         }
 
@@ -291,6 +308,16 @@ impl ClassStructure {
         w: &Lasso<TransId>,
         opts: ClassOptions,
     ) -> Result<ClassStructure, CoreError> {
+        Self::build_stable_cached(ext, w, opts, &SatCache::new(ext.ra().schema().clone()))
+    }
+
+    /// [`ClassStructure::build_stable`] with a shared [`SatCache`].
+    pub fn build_stable_cached(
+        ext: &ExtendedAutomaton,
+        w: &Lasso<TransId>,
+        opts: ClassOptions,
+        cache: &SatCache,
+    ) -> Result<ClassStructure, CoreError> {
         let window = w.prefix_len() + 2 * w.period();
         let mut prev_sig: Option<Vec<u8>> = None;
         let mut stable_for = 0usize;
@@ -298,7 +325,7 @@ impl ClassStructure {
         let mut periods = opts.initial_periods.max(3);
         while periods <= opts.max_periods {
             let horizon = w.prefix_len() + periods * w.period();
-            let s = ClassStructure::build(ext, w, horizon)?;
+            let s = ClassStructure::build_cached(ext, w, horizon, cache)?;
             let sig = s.window_signature(window);
             if prev_sig.as_ref() == Some(&sig) {
                 stable_for += 1;

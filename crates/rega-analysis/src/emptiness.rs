@@ -28,9 +28,9 @@
 use crate::classes::{ClassOptions, ClassStructure};
 use rega_automata::{emptiness as nba_emptiness, Lasso};
 use rega_core::run::{Config, FiniteRun, LassoRun};
-use rega_core::symbolic::scontrol_nba;
+use rega_core::symbolic::scontrol_nba_cached;
 use rega_core::{CoreError, ExtendedAutomaton, TransId};
-use rega_data::{Database, Literal, Value};
+use rega_data::{Database, Literal, SatCache, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Budgets for the emptiness search.
@@ -95,13 +95,26 @@ pub fn check_emptiness(
     ext: &ExtendedAutomaton,
     opts: &EmptinessOptions,
 ) -> Result<EmptinessVerdict, CoreError> {
-    let nba = scontrol_nba(ext.ra())?;
+    check_emptiness_cached(ext, opts, &SatCache::new(ext.ra().schema().clone()))
+}
+
+/// [`check_emptiness`] with every σ-type operation of the pipeline —
+/// `SControl` joint-satisfiability wiring and the per-lasso structure
+/// analyses — memoized in `cache`. One cache serves all candidate lassos,
+/// and a caller running repeated checks (benchmarks, monitoring startup)
+/// can keep the cache warm across calls.
+pub fn check_emptiness_cached(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+) -> Result<EmptinessVerdict, CoreError> {
+    let nba = scontrol_nba_cached(ext.ra(), cache)?;
     let lassos =
         nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
     // The structure horizon must comfortably exceed the largest collapse
     // period: prefix + 2·t·period + slack.
     for control in lassos {
-        if let Some(w) = witness_for_lasso(ext, &control, opts)? {
+        if let Some(w) = witness_for_lasso_cached(ext, &control, opts, cache)? {
             return Ok(EmptinessVerdict::NonEmpty(Box::new(w)));
         }
     }
@@ -115,11 +128,26 @@ pub fn witness_for_lasso(
     control: &Lasso<TransId>,
     opts: &EmptinessOptions,
 ) -> Result<Option<Witness>, CoreError> {
+    witness_for_lasso_cached(
+        ext,
+        control,
+        opts,
+        &SatCache::new(ext.ra().schema().clone()),
+    )
+}
+
+/// [`witness_for_lasso`] with a shared [`SatCache`].
+pub fn witness_for_lasso_cached(
+    ext: &ExtendedAutomaton,
+    control: &Lasso<TransId>,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+) -> Result<Option<Witness>, CoreError> {
     // The structure horizon must comfortably exceed the largest collapse
     // period: prefix + 2·t·period + slack.
     let mut class_opts = opts.class_opts;
     class_opts.initial_periods = class_opts.initial_periods.max(2 * opts.max_collapse + 3);
-    let s = ClassStructure::build_stable(ext, control, class_opts)?;
+    let s = ClassStructure::build_stable_cached(ext, control, class_opts, cache)?;
     if !s.consistent {
         return Ok(None);
     }

@@ -1,15 +1,19 @@
 //! E4 (Theorem 9 / Corollary 10): emptiness of extended automata — timing
 //! on the paper's examples and on random automata of growing size; witness
-//! database sizes.
+//! database sizes. Also emits the machine-readable artifact
+//! `BENCH_e04.json` at the repository root.
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use rega_analysis::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict};
+use rega_bench::{measure, write_bench_json};
 use rega_core::generate::{random_automaton, GenParams};
 use rega_core::{paper, ExtendedAutomaton};
+use serde_json::json;
 
 fn main() {
     let mut c: Criterion = rega_bench::criterion();
     let opts = EmptinessOptions::default();
+    let mut entries = Vec::new();
 
     println!("e04: emptiness verdicts and witness sizes on the paper's examples");
     println!("e04: example   nonempty  periodic_run  witness_db_facts");
@@ -21,21 +25,33 @@ fn main() {
         ("example23", ExtendedAutomaton::new(paper::example23())),
     ] {
         let v = check_emptiness(&ext, &opts).unwrap();
-        match &v {
-            EmptinessVerdict::NonEmpty(w) => println!(
-                "e04: {:<9} {:>8}  {:>12}  {:>16}",
-                name,
-                true,
-                w.lasso_run.is_some(),
-                w.database.total_facts()
-            ),
-            EmptinessVerdict::Empty => {
-                println!("e04: {name:<9} {:>8}", false)
+        let (nonempty, periodic, facts) = match &v {
+            EmptinessVerdict::NonEmpty(w) => {
+                println!(
+                    "e04: {:<9} {:>8}  {:>12}  {:>16}",
+                    name,
+                    true,
+                    w.lasso_run.is_some(),
+                    w.database.total_facts()
+                );
+                (true, w.lasso_run.is_some(), w.database.total_facts())
             }
-        }
+            EmptinessVerdict::Empty => {
+                println!("e04: {name:<9} {:>8}", false);
+                (false, false, 0)
+            }
+        };
         c.bench_function(format!("e04/{name}"), |b| {
             b.iter(|| check_emptiness(black_box(&ext), &opts).unwrap())
         });
+        let m = measure(10, || check_emptiness(&ext, &opts).unwrap());
+        entries.push(json!({
+            "workload": name,
+            "nonempty": nonempty,
+            "periodic_run": periodic,
+            "witness_db_facts": facts,
+            "check_emptiness": m.to_json(),
+        }));
     }
 
     // Scaling with automaton size.
@@ -54,6 +70,19 @@ fn main() {
             &ext,
             |b, ext| b.iter(|| check_emptiness(black_box(ext), &opts).unwrap()),
         );
+        let m = measure(10, || check_emptiness(&ext, &opts).unwrap());
+        entries.push(json!({
+            "workload": format!("random_states/{states}"),
+            "check_emptiness": m.to_json(),
+        }));
     }
     c.final_summary();
+
+    let payload = json!({
+        "experiment": "e04_emptiness",
+        "note": "single-core wall-clock medians via the rega-bench measure helper",
+        "workloads": entries,
+    });
+    let path = write_bench_json("BENCH_e04", &payload);
+    println!("e04: wrote {}", path.display());
 }

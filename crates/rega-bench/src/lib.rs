@@ -1,7 +1,10 @@
-//! Shared helpers for the benchmark harness (experiments E1–E12; see
+//! Shared helpers for the benchmark harness (experiments E1–E15; see
 //! EXPERIMENTS.md for the experiment index and recorded outcomes).
 
 use criterion::Criterion;
+use serde_json::{json, Value as Json};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// A Criterion instance tuned for the CI-scale experiment runs: small
 /// sample counts, short measurement windows.
@@ -11,4 +14,105 @@ pub fn criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .warm_up_time(std::time::Duration::from_millis(200))
         .configure_from_args()
+}
+
+/// A direct measurement: per-iteration wall-clock statistics over a fixed
+/// number of samples. The vendored criterion stub keeps its statistics
+/// private, so experiments that need machine-readable output (the
+/// `BENCH_*.json` artifacts) measure through this helper instead.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Median of the per-sample mean iteration times, in seconds.
+    pub median_secs: f64,
+    /// Fastest sample mean.
+    pub min_secs: f64,
+    /// Slowest sample mean.
+    pub max_secs: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample (sized so a sample is long enough to time).
+    pub iters_per_sample: u64,
+}
+
+impl Measured {
+    /// The measurement as a JSON object (times in nanoseconds for
+    /// readability at the scales involved).
+    pub fn to_json(&self) -> Json {
+        json!({
+            "median_ns": self.median_secs * 1e9,
+            "min_ns": self.min_secs * 1e9,
+            "max_ns": self.max_secs * 1e9,
+            "samples": self.samples,
+            "iters_per_sample": self.iters_per_sample,
+        })
+    }
+}
+
+/// Times `routine` over `samples` samples, sizing iterations per sample so
+/// each sample runs at least ~10 ms (fast routines are batched).
+pub fn measure<O>(samples: usize, mut routine: impl FnMut() -> O) -> Measured {
+    assert!(samples > 0);
+    // One throwaway call for warm-up, then estimate the iteration cost.
+    std::hint::black_box(routine());
+    let est_start = Instant::now();
+    std::hint::black_box(routine());
+    let est = est_start.elapsed().as_secs_f64();
+    let target = Duration::from_millis(10).as_secs_f64();
+    let iters = ((target / est.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        means.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Measured {
+        median_secs: means[means.len() / 2],
+        min_secs: means[0],
+        max_secs: means[means.len() - 1],
+        samples,
+        iters_per_sample: iters,
+    }
+}
+
+/// Formats seconds the way the criterion stub does (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Writes a machine-readable benchmark artifact `<file_stem>.json` at the
+/// repository root (next to EXPERIMENTS.md) and returns its path.
+pub fn write_bench_json(file_stem: &str, payload: &Json) -> PathBuf {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("{file_stem}.json"));
+    let text = serde_json::to_string_pretty(payload).expect("serializable payload");
+    std::fs::write(&path, text + "\n").expect("writable repository root");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_statistics() {
+        let m = measure(3, || std::hint::black_box(21u64 * 2));
+        assert_eq!(m.samples, 3);
+        assert!(m.min_secs <= m.median_secs && m.median_secs <= m.max_secs);
+        assert!(m.iters_per_sample >= 1);
+        let j = m.to_json();
+        assert!(j["median_ns"].as_f64().unwrap() > 0.0);
+    }
 }

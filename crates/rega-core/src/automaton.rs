@@ -177,6 +177,40 @@ impl RegisterAutomaton {
         Ok(id)
     }
 
+    /// Adds a transition like [`RegisterAutomaton::add_transition`], but
+    /// runs the satisfiability validation through a shared
+    /// [`SatCache`](rega_data::SatCache) (tied to this automaton's schema),
+    /// so constructions that duplicate the same type across many
+    /// transitions — completion, the state-driven normal form, the
+    /// projection skeletons — analyze each distinct type once.
+    pub fn add_transition_interned(
+        &mut self,
+        from: StateId,
+        ty: SigmaType,
+        to: StateId,
+        cache: &rega_data::SatCache,
+    ) -> Result<TransId, CoreError> {
+        if from.idx() >= self.num_states() {
+            return Err(CoreError::UnknownState(from.0));
+        }
+        if to.idx() >= self.num_states() {
+            return Err(CoreError::UnknownState(to.0));
+        }
+        if ty.k() != self.k {
+            return Err(CoreError::RegisterCountMismatch {
+                expected: self.k,
+                got: ty.k(),
+            });
+        }
+        // `analyze` re-validates term ranges and arities internally, so the
+        // cached result covers both checks of the direct path.
+        cache.analyze(&ty)?; // must be satisfiable
+        let id = TransId(self.transitions.len() as u32);
+        self.out[from.idx()].push(id);
+        self.transitions.push(Transition { from, ty, to });
+        Ok(id)
+    }
+
     /// Number of transitions.
     pub fn num_transitions(&self) -> usize {
         self.transitions.len()

@@ -17,8 +17,9 @@ use crate::error::CoreError;
 use crate::extended::ExtendedAutomaton;
 use crate::monitor::ConstraintMonitor;
 use crate::run::{Config, FiniteRun, LassoRun};
-use rega_data::{Database, Term, Value, ValueSupply};
+use rega_data::{Database, SatCache, Term, Value, ValueSupply};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Budget limits for the search.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +56,32 @@ pub fn successors(
     cur: &Config,
     pool: &[Value],
 ) -> Vec<(TransId, Config)> {
+    successors_impl(ext, db, cur, pool, &mut |ty| {
+        ty.analyze(ext.ra().schema()).ok().map(Arc::new)
+    })
+}
+
+/// [`successors`] with the per-transition type analyses memoized in
+/// `cache`. The search loops below call this with one cache per top-level
+/// search, so each transition type is analyzed once per search instead of
+/// once per expanded node.
+pub fn successors_cached(
+    ext: &ExtendedAutomaton,
+    db: &Database,
+    cur: &Config,
+    pool: &[Value],
+    cache: &SatCache,
+) -> Vec<(TransId, Config)> {
+    successors_impl(ext, db, cur, pool, &mut |ty| cache.analyze(ty).ok())
+}
+
+fn successors_impl(
+    ext: &ExtendedAutomaton,
+    db: &Database,
+    cur: &Config,
+    pool: &[Value],
+    analyze: &mut dyn FnMut(&rega_data::SigmaType) -> Option<Arc<rega_data::types::TypeAnalysis>>,
+) -> Vec<(TransId, Config)> {
     let ra = ext.ra();
     let k = ra.k() as usize;
     let mut full_pool: Vec<Value> = pool.to_vec();
@@ -66,7 +93,7 @@ pub fn successors(
     let mut out = Vec::new();
     for &t in ra.outgoing(cur.state) {
         let tr = ra.transition(t);
-        let Ok(analysis) = tr.ty.analyze(ra.schema()) else {
+        let Some(analysis) = analyze(&tr.ty) else {
             continue;
         };
         // Forced value per y-register: from an x-term or constant in the
@@ -182,6 +209,7 @@ pub fn enumerate_prefixes(
     limits: SearchLimits,
 ) -> Vec<FiniteRun> {
     assert!(len >= 1);
+    let cache = SatCache::new(ext.ra().schema().clone());
     let mut results = Vec::new();
     let mut nodes = 0usize;
     for init in initial_configs(ext, pool) {
@@ -200,6 +228,7 @@ pub fn enumerate_prefixes(
             run,
             monitor,
             &mut results,
+            &cache,
         );
         if results.len() >= limits.max_runs || nodes >= limits.max_nodes {
             break;
@@ -219,6 +248,7 @@ fn dfs(
     run: FiniteRun,
     monitor: ConstraintMonitor,
     results: &mut Vec<FiniteRun>,
+    cache: &SatCache,
 ) {
     if results.len() >= limits.max_runs || *nodes >= limits.max_nodes {
         return;
@@ -229,14 +259,14 @@ fn dfs(
         return;
     }
     let cur = run.configs.last().expect("non-empty run");
-    for (t, next) in successors(ext, db, cur, pool) {
+    for (t, next) in successors_cached(ext, db, cur, pool, cache) {
         let mut m2 = monitor.clone();
         if m2.step(ext, next.state, &next.regs).is_some() {
             continue;
         }
         let mut r2 = run.clone();
         r2.push(t, next);
-        dfs(ext, db, pool, len, limits, nodes, r2, m2, results);
+        dfs(ext, db, pool, len, limits, nodes, r2, m2, results, cache);
     }
 }
 
@@ -251,6 +281,7 @@ pub fn find_lasso_run(
     pool: &[Value],
     limits: SearchLimits,
 ) -> Result<Option<LassoRun>, CoreError> {
+    let cache = SatCache::new(ext.ra().schema().clone());
     let mut nodes = 0usize;
     for init in initial_configs(ext, pool) {
         let mut stack = vec![FiniteRun::start(init)];
@@ -260,7 +291,7 @@ pub fn find_lasso_run(
                 return Ok(None);
             }
             let cur = run.configs.last().expect("non-empty");
-            for (t, next) in successors(ext, db, cur, pool) {
+            for (t, next) in successors_cached(ext, db, cur, pool, &cache) {
                 // Loop closure: next equals an earlier configuration.
                 for (i, c) in run.configs.iter().enumerate() {
                     if *c == next {
@@ -332,6 +363,7 @@ pub fn find_lasso_with_projection(
             stack.push((FiniteRun::start(init), 0));
         }
     }
+    let cache = SatCache::new(ext.ra().schema().clone());
     let mut nodes = 0usize;
     while let Some((run, pos)) = stack.pop() {
         nodes += 1;
@@ -339,7 +371,7 @@ pub fn find_lasso_with_projection(
             return Ok(None);
         }
         let cur = run.configs.last().expect("non-empty");
-        for (t, next) in successors(ext, db, cur, &pool_all) {
+        for (t, next) in successors_cached(ext, db, cur, &pool_all, &cache) {
             if next.regs[..m] != probe.at(pos + 1)[..] {
                 continue;
             }

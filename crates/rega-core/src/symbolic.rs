@@ -15,18 +15,45 @@
 use crate::automaton::{RegisterAutomaton, TransId};
 use crate::error::CoreError;
 use rega_automata::{Lasso, Nba};
-use rega_data::SigmaType;
+use rega_data::{SatCache, TypeId};
 
 /// Builds the Büchi automaton recognizing `SControl(A)` over the alphabet of
-/// transition ids.
+/// transition ids, with a private, throwaway [`SatCache`]. Prefer
+/// [`scontrol_nba_cached`] when a shared cache is available (repeated
+/// builds, or a surrounding analysis that reuses the same types).
+pub fn scontrol_nba(ra: &RegisterAutomaton) -> Result<Nba<TransId>, CoreError> {
+    scontrol_nba_cached(ra, &SatCache::new(ra.schema().clone()))
+}
+
+/// Builds the Büchi automaton recognizing `SControl(A)` over the alphabet of
+/// transition ids, memoizing every σ-type operation in `cache` (which must
+/// be tied to `ra`'s schema).
 ///
 /// NBA states: a fresh start state, plus one state per transition meaning
 /// "this transition just fired". A letter `t` can follow `u` iff
 /// `to(u) = from(t)` and the types of `u` and `t` agree on the shared
-/// registers. A state `t` is Büchi-accepting iff `from(t) ∈ F`: state
-/// `from(t_n)` occurs at position `n`, so `F` is visited infinitely often
-/// exactly when accepting letters fire infinitely often.
-pub fn scontrol_nba(ra: &RegisterAutomaton) -> Result<Nba<TransId>, CoreError> {
+/// registers.
+///
+/// ## Accepting-state convention
+///
+/// State `1 + t.idx()` is Büchi-accepting iff `from(t) ∈ F`. This is the
+/// correct orientation: after reading the letter at position `n` the NBA
+/// sits in state `1 + t_n.idx()`, and condition (i) of symbolic control
+/// traces asks that the control states `q_n = from(t_n)` visit `F`
+/// infinitely often — exactly when letters whose *source* state is
+/// accepting fire infinitely often. (A `to(t) ∈ F` convention would accept
+/// the same lassos, since within a cycle the source and target states
+/// coincide as sets, but it would misalign the state sequence by one
+/// position relative to the paper's trace `((q_n, δ_n))`.) The run-based
+/// oracle `LassoRun::validate` checks `F` against the looping
+/// configurations `configs[loop_start..]` — the *sources* of the cycle's
+/// transitions — and the differential test in `tests/verification_pipeline.rs`
+/// pins the two against each other on automata where `from`/`to`
+/// acceptance differ.
+pub fn scontrol_nba_cached(
+    ra: &RegisterAutomaton,
+    cache: &SatCache,
+) -> Result<Nba<TransId>, CoreError> {
     let alphabet: Vec<TransId> = ra.transition_ids().collect();
     let n = alphabet.len();
     // Compatibility of consecutive transitions: `t` can follow `u` iff
@@ -36,23 +63,15 @@ pub fn scontrol_nba(ra: &RegisterAutomaton) -> Result<Nba<TransId>, CoreError> {
     // the paper's condition (iii) (`delta_u|y = delta_t|x` -- maximal restrictions
     // are jointly satisfiable iff equal); for incomplete types syntactic
     // equality would wrongly reject, e.g., `P(x1)` followed by `P(x1)`.
-    // Computed once per distinct *pair of types*, via an encoding over 2k
-    // registers: `x(0..k) = d_n`, `x(k..2k) = d_{n+1}`, `y(0..k) = d_{n+2}`.
-    let mut type_ids: std::collections::HashMap<SigmaType, u32> = Default::default();
-    let mut type_of = vec![0u32; n];
-    for &t in &alphabet {
-        let ty = &ra.transition(t).ty;
-        let next = type_ids.len() as u32;
-        type_of[t.idx()] = *type_ids.entry(ty.clone()).or_insert(next);
-    }
-    let mut joint_sat: std::collections::HashMap<(u32, u32), bool> = Default::default();
-    let mut compatible = |u: TransId, t: TransId| -> bool {
-        let key = (type_of[u.idx()], type_of[t.idx()]);
-        *joint_sat.entry(key).or_insert_with(|| {
-            ra.transition(u)
-                .ty
-                .jointly_satisfiable_with(&ra.transition(t).ty, ra.schema())
-        })
+    // Computed once per distinct *pair of types* across the lifetime of
+    // `cache`, via an encoding over 2k registers: `x(0..k) = d_n`,
+    // `x(k..2k) = d_{n+1}`, `y(0..k) = d_{n+2}`.
+    let type_of: Vec<TypeId> = alphabet
+        .iter()
+        .map(|&t| cache.intern(&ra.transition(t).ty))
+        .collect();
+    let compatible = |u: TransId, t: TransId| -> bool {
+        cache.jointly_satisfiable_ids(type_of[u.idx()], type_of[t.idx()])
     };
     // State 0 = start; state 1 + t.idx() = "transition t just fired".
     let mut nba = Nba::new(alphabet.clone(), n + 1);

@@ -12,12 +12,22 @@ use crate::automaton::{RegisterAutomaton, StateId};
 use crate::error::CoreError;
 use crate::extended::{ExtendedAutomaton, GlobalConstraint};
 use rega_automata::Regex;
-use rega_data::SigmaType;
+use rega_data::{SatCache, SigmaType};
 
 /// Replaces every transition type by all of its complete extensions.
 /// Register traces are preserved (each original step is refined into the
 /// nondeterministic choice of a completion).
 pub fn complete(ra: &RegisterAutomaton) -> Result<RegisterAutomaton, CoreError> {
+    complete_cached(ra, &SatCache::new(ra.schema().clone()))
+}
+
+/// [`complete`] with every completion enumeration and satisfiability check
+/// memoized in `cache` — transitions sharing a type enumerate its
+/// completions once.
+pub fn complete_cached(
+    ra: &RegisterAutomaton,
+    cache: &SatCache,
+) -> Result<RegisterAutomaton, CoreError> {
     let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
     for s in ra.states() {
         let s2 = out.add_state(ra.state_name(s));
@@ -31,8 +41,8 @@ pub fn complete(ra: &RegisterAutomaton) -> Result<RegisterAutomaton, CoreError> 
     }
     for t in ra.transition_ids() {
         let tr = ra.transition(t);
-        for completion in tr.ty.completions(ra.schema())? {
-            out.add_transition(tr.from, completion, tr.to)?;
+        for completion in cache.completions(&tr.ty)? {
+            out.add_transition_interned(tr.from, (*completion).clone(), tr.to, cache)?;
         }
     }
     Ok(out)
@@ -54,6 +64,13 @@ pub struct StateDriven {
 /// States of the original automaton without outgoing transitions disappear
 /// (they cannot occur in an infinite run).
 pub fn state_driven(ra: &RegisterAutomaton) -> StateDriven {
+    state_driven_cached(ra, &SatCache::new(ra.schema().clone()))
+}
+
+/// [`state_driven`] with transition validation memoized in `cache`. The
+/// construction duplicates each type once per successor pair, so the cache
+/// reduces the quadratic re-analysis to one analysis per distinct type.
+pub fn state_driven_cached(ra: &RegisterAutomaton, cache: &SatCache) -> StateDriven {
     // Distinct outgoing types per state.
     let mut types_of: Vec<Vec<SigmaType>> = vec![Vec::new(); ra.num_states()];
     for t in ra.transition_ids() {
@@ -90,7 +107,7 @@ pub fn state_driven(ra: &RegisterAutomaton) -> StateDriven {
         let from2 = pair_id[tr.from.idx()][xi];
         for (to_xi, _) in types_of[tr.to.idx()].iter().enumerate() {
             let to2 = pair_id[tr.to.idx()][to_xi];
-            out.add_transition(from2, tr.ty.clone(), to2)
+            out.add_transition_interned(from2, tr.ty.clone(), to2, cache)
                 .expect("type already validated");
         }
     }
@@ -105,7 +122,15 @@ pub fn state_driven(ra: &RegisterAutomaton) -> StateDriven {
 /// through the surjection `α` (each original state letter becomes the
 /// alternation of its preimages).
 pub fn state_driven_extended(ext: &ExtendedAutomaton) -> ExtendedAutomaton {
-    let sd = state_driven(ext.ra());
+    state_driven_extended_cached(ext, &SatCache::new(ext.ra().schema().clone()))
+}
+
+/// [`state_driven_extended`] with a shared [`SatCache`].
+pub fn state_driven_extended_cached(
+    ext: &ExtendedAutomaton,
+    cache: &SatCache,
+) -> ExtendedAutomaton {
+    let sd = state_driven_cached(ext.ra(), cache);
     let mut preimages: Vec<Vec<StateId>> = vec![Vec::new(); ext.ra().num_states()];
     for (new_idx, &orig) in sd.state_map.iter().enumerate() {
         preimages[orig.idx()].push(StateId(new_idx as u32));
@@ -123,7 +148,15 @@ pub fn state_driven_extended(ext: &ExtendedAutomaton) -> ExtendedAutomaton {
 /// Completion of an extended automaton: constraints carry over unchanged
 /// (the state set does not change).
 pub fn complete_extended(ext: &ExtendedAutomaton) -> Result<ExtendedAutomaton, CoreError> {
-    let completed = complete(ext.ra())?;
+    complete_extended_cached(ext, &SatCache::new(ext.ra().schema().clone()))
+}
+
+/// [`complete_extended`] with a shared [`SatCache`].
+pub fn complete_extended_cached(
+    ext: &ExtendedAutomaton,
+    cache: &SatCache,
+) -> Result<ExtendedAutomaton, CoreError> {
+    let completed = complete_cached(ext.ra(), cache)?;
     let mut out = ExtendedAutomaton::new(completed);
     for c in ext.constraints() {
         out.add_lifted_constraint(c, |s| s)?;
@@ -139,6 +172,17 @@ pub fn complete_extended(ext: &ExtendedAutomaton) -> Result<ExtendedAutomaton, C
 pub fn complete_for_atoms(
     ra: &RegisterAutomaton,
     atoms: &[rega_data::Literal],
+) -> Result<RegisterAutomaton, CoreError> {
+    complete_for_atoms_cached(ra, atoms, &SatCache::new(ra.schema().clone()))
+}
+
+/// [`complete_for_atoms`] with the per-variant satisfiability checks
+/// memoized in `cache` — transitions sharing a type (and the shared
+/// intermediate refinements they generate) are checked once.
+pub fn complete_for_atoms_cached(
+    ra: &RegisterAutomaton,
+    atoms: &[rega_data::Literal],
+    cache: &SatCache,
 ) -> Result<RegisterAutomaton, CoreError> {
     let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
     for s in ra.states() {
@@ -158,11 +202,11 @@ pub fn complete_for_atoms(
             let mut next = Vec::new();
             for v in variants {
                 let pos = v.with(atom.clone());
-                if pos.is_satisfiable(ra.schema()) {
+                if cache.is_consistent(&pos) {
                     next.push(pos);
                 }
                 let neg = v.with(atom.negated());
-                if neg.is_satisfiable(ra.schema()) {
+                if cache.is_consistent(&neg) {
                     next.push(neg);
                 }
             }
@@ -171,7 +215,7 @@ pub fn complete_for_atoms(
         variants.sort();
         variants.dedup();
         for v in variants {
-            out.add_transition(tr.from, v, tr.to)?;
+            out.add_transition_interned(tr.from, v, tr.to, cache)?;
         }
     }
     Ok(out)
@@ -182,7 +226,16 @@ pub fn complete_extended_for_atoms(
     ext: &ExtendedAutomaton,
     atoms: &[rega_data::Literal],
 ) -> Result<ExtendedAutomaton, CoreError> {
-    let completed = complete_for_atoms(ext.ra(), atoms)?;
+    complete_extended_for_atoms_cached(ext, atoms, &SatCache::new(ext.ra().schema().clone()))
+}
+
+/// [`complete_extended_for_atoms`] with a shared [`SatCache`].
+pub fn complete_extended_for_atoms_cached(
+    ext: &ExtendedAutomaton,
+    atoms: &[rega_data::Literal],
+    cache: &SatCache,
+) -> Result<ExtendedAutomaton, CoreError> {
+    let completed = complete_for_atoms_cached(ext.ra(), atoms, cache)?;
     let mut out = ExtendedAutomaton::new(completed);
     for c in ext.constraints() {
         out.add_lifted_constraint(c, |s| s)?;

@@ -14,9 +14,13 @@
 //!   restriction, completion, and compatibility checks.
 //! * [`Qf`] — arbitrary quantifier-free first-order formulas, used by the
 //!   LTL-FO verification layer (Definition 11 of the paper).
+//! * [`SatCache`] / [`TypeInterner`] — hash-consed σ-types ([`TypeId`]
+//!   handles) with memoized analysis, saturation, restriction, joint
+//!   satisfiability, and completion, shared by the whole analysis stack.
 
 pub mod database;
 pub mod error;
+pub mod intern;
 pub mod literal;
 pub mod qf;
 pub mod schema;
@@ -26,6 +30,7 @@ pub mod value;
 
 pub use database::Database;
 pub use error::DataError;
+pub use intern::{CacheStats, RestrictOp, SatCache, TypeId, TypeInterner};
 pub use literal::Literal;
 pub use qf::{Qf, QfTerm};
 pub use schema::{ConstSym, RelSym, Schema};

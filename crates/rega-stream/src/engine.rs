@@ -43,10 +43,8 @@ use crate::sim::SimScheduler;
 use crate::snapshot::SnapshotError;
 use crate::spec::CompiledSpec;
 use serde_json::Value as Json;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -177,10 +175,22 @@ pub(crate) fn make_report(
 }
 
 /// The shard an event for `session` is routed to.
+///
+/// Routing must be *stable*: checkpoints record sessions by name and
+/// [`Engine::restore_sim`] re-routes them by hash, and replay tooling
+/// compares shard assignments across processes. `DefaultHasher` is
+/// explicitly not stable across Rust releases (or even processes, once
+/// seeded hashing applies), so the engine pins FNV-1a, whose assignment is
+/// part of the checkpoint format and covered by a regression test.
 pub(crate) fn shard_index(session: &str, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    session.hash(&mut h);
-    (h.finish() % shards as u64) as usize
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in session.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % shards as u64) as usize
 }
 
 /// A running engine: a facade over one [`Scheduler`]. Created with
@@ -293,6 +303,9 @@ pub(crate) fn process(
     quarantine_cap: u64,
 ) {
     let lenient = quarantine_cap > 0;
+    // Keep the snapshot-visible σ-type cache counters current (absolute
+    // stores into relaxed atomics — two cheap writes per event).
+    metrics.sync_type_cache(&spec.type_cache_stats());
     let name = event.session();
     if shard.closed.contains_key(name) {
         metrics
@@ -392,4 +405,119 @@ pub(crate) fn evict(metrics: &EngineMetrics, shard: &mut ShardState, name: &str)
             quarantined: session.quarantined,
         },
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rega_core::spec::parse_spec;
+    use rega_data::{Database, Schema, Value};
+
+    /// Shard routing is part of the checkpoint format: these assignments
+    /// may only change together with a deliberate format bump. The
+    /// expected values are FNV-1a of the session name mod the shard
+    /// count, computed once and pinned.
+    #[test]
+    fn shard_routing_is_pinned() {
+        // (session, shards, expected shard)
+        let pinned: &[(&str, usize, usize)] = &[
+            ("", 8, 5), // FNV offset basis % 8
+            ("alice", 8, 7),
+            ("bob", 8, 4),
+            ("carol", 8, 2),
+            ("session-0", 8, 2),
+            ("session-1", 8, 5),
+            ("session-2", 8, 4),
+            ("alice", 3, 2),
+            ("bob", 3, 0),
+            ("carol", 3, 1),
+            ("alice", 1, 0),
+        ];
+        for &(name, shards, want) in pinned {
+            assert_eq!(
+                shard_index(name, shards),
+                want,
+                "shard assignment for {name:?} over {shards} shards drifted"
+            );
+        }
+        // Spot-check the reference implementation directly.
+        let fnv = |s: &str| -> u64 {
+            s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            })
+        };
+        for name in ["alice", "bob", "carol", "session-17", ""] {
+            for shards in [1usize, 2, 3, 8, 16] {
+                assert_eq!(
+                    shard_index(name, shards),
+                    (fnv(name) % shards as u64) as usize
+                );
+            }
+        }
+    }
+
+    fn tiny_spec() -> CompiledSpec {
+        let ext = parse_spec(
+            "\
+registers 1
+state p init accept
+trans p -> p : x1 = x1
+",
+        )
+        .unwrap();
+        CompiledSpec::compile(ext, Database::new(Schema::empty()), None).unwrap()
+    }
+
+    /// The quarantine budget boundary, exactly as documented: a session
+    /// may accumulate *up to* `quarantine_cap` transport-faulty events and
+    /// stay `Active`; the `cap + 1`-st evicts it as `QuarantineOverflow`.
+    #[test]
+    fn quarantine_budget_boundary_is_exact() {
+        for cap in [1u64, 2, 5] {
+            let spec = tiny_spec();
+            let metrics = EngineMetrics::default();
+            let mut shard = ShardState::default();
+            // One valid step creates the session.
+            let ok = Event::Step {
+                session: "s".into(),
+                state: "p".into(),
+                regs: vec![Value(1)],
+            };
+            process(&spec, &metrics, &mut shard, ok.clone(), 16, cap);
+            assert_eq!(shard.live["s"].status(), &SessionStatus::Active);
+            // Exactly `cap` malformed events: counted, session survives.
+            for i in 0..cap {
+                let bad = Event::Step {
+                    session: "s".into(),
+                    state: "no-such-state".into(),
+                    regs: vec![Value(2)],
+                };
+                process(&spec, &metrics, &mut shard, bad, 16, cap);
+                assert_eq!(
+                    shard.live["s"].status(),
+                    &SessionStatus::Active,
+                    "session evicted after {} malformed events with cap {cap}",
+                    i + 1
+                );
+            }
+            assert_eq!(shard.live["s"].quarantined, cap);
+            // The cap + 1-st malformed event tips the budget.
+            let bad = Event::Step {
+                session: "s".into(),
+                state: "p".into(),
+                regs: vec![], // wrong arity
+            };
+            process(&spec, &metrics, &mut shard, bad, 16, cap);
+            assert!(!shard.live.contains_key("s"), "session must be evicted");
+            assert_eq!(
+                shard.closed["s"].status,
+                SessionStatus::Violated(ViolationKind::QuarantineOverflow)
+            );
+            assert_eq!(
+                metrics.events_quarantined.load(Ordering::Relaxed),
+                cap + 1,
+                "every malformed event is counted, including the tipping one"
+            );
+        }
+    }
 }

@@ -120,6 +120,13 @@ pub struct EngineMetrics {
     pub process_latency: LatencyHistogram,
     /// Time events spent waiting in shard queues.
     pub queue_latency: LatencyHistogram,
+    /// σ-type cache hits of the spec's [`SatCache`](rega_data::SatCache)
+    /// (interned satisfiability/saturation lookups that were served from
+    /// the memo tables). Synced from the spec by workers; stores, not
+    /// increments, so replays cannot double-count.
+    pub type_cache_hits: AtomicU64,
+    /// σ-type cache misses (lookups that had to run the full analysis).
+    pub type_cache_misses: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -139,6 +146,14 @@ impl EngineMetrics {
                 Some(n.saturating_sub(1))
             });
         self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the σ-type cache counters with the cache's current
+    /// totals (absolute stores: the `SatCache` owns the running count).
+    pub fn sync_type_cache(&self, stats: &rega_data::CacheStats) {
+        self.type_cache_hits.store(stats.hits, Ordering::Relaxed);
+        self.type_cache_misses
+            .store(stats.misses, Ordering::Relaxed);
     }
 
     /// A JSON snapshot of all counters and histograms.
@@ -168,6 +183,10 @@ impl EngineMetrics {
             "latency": {
                 "process": self.process_latency.snapshot(),
                 "queue": self.queue_latency.snapshot(),
+            },
+            "symbolic": {
+                "type_cache_hits": c(&self.type_cache_hits),
+                "type_cache_misses": c(&self.type_cache_misses),
             },
         })
     }
@@ -284,6 +303,11 @@ mod tests {
         m.sessions_ended.fetch_add(1, Ordering::Relaxed);
         m.events_quarantined.fetch_add(3, Ordering::Relaxed);
         m.worker_panics.fetch_add(1, Ordering::Relaxed);
+        m.sync_type_cache(&rega_data::CacheStats {
+            hits: 42,
+            misses: 7,
+            distinct_types: 7,
+        });
         let got = serde_json::to_string_pretty(&m.snapshot()).unwrap();
         let want = include_str!("testdata/metrics_snapshot.golden.json");
         assert_eq!(

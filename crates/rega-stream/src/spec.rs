@@ -1,8 +1,8 @@
 //! The compiled, shareable form of a monitored specification.
 
 use rega_core::{CoreError, ExtendedAutomaton, StateId, TransId};
-use rega_data::{Database, Value};
-use rega_views::{project_extended, project_register_automaton};
+use rega_data::{CacheStats, Database, SatCache, Value};
+use rega_views::{project_extended_cached, project_register_automaton_cached};
 use std::collections::HashMap;
 
 /// Everything derived from the automaton once and shared read-only (behind
@@ -25,6 +25,10 @@ pub struct CompiledSpec {
     /// One-step successor states per state (the session's reachable set).
     successors: Vec<Vec<StateId>>,
     view: Option<ViewPart>,
+    /// The σ-type interner + satisfiability cache that served compilation
+    /// (view construction in particular); kept so engines can report its
+    /// hit/miss counters through the metrics snapshot.
+    type_cache: SatCache,
 }
 
 /// A compiled projection view.
@@ -63,13 +67,14 @@ impl CompiledSpec {
                 }
             }
         }
+        let type_cache = SatCache::new(ra.schema().clone());
         let view = match view_m {
             None => None,
             Some(m) => {
                 let view = if ext.constraints().is_empty() {
-                    project_register_automaton(ra, m)?.view
+                    project_register_automaton_cached(ra, m, &type_cache)?.view
                 } else {
-                    project_extended(&ext, m)?.view
+                    project_extended_cached(&ext, m, &type_cache)?.view
                 };
                 Some(ViewPart { view, m })
             }
@@ -81,6 +86,7 @@ impl CompiledSpec {
             edges,
             successors,
             view,
+            type_cache,
         })
     }
 
@@ -121,6 +127,17 @@ impl CompiledSpec {
     /// The compiled projection view, if one was requested.
     pub fn view(&self) -> Option<&ViewPart> {
         self.view.as_ref()
+    }
+
+    /// The σ-type cache backing the spec (compilation reuses it; callers
+    /// may share it for further symbolic work over the same schema).
+    pub fn type_cache(&self) -> &SatCache {
+        &self.type_cache
+    }
+
+    /// Hit/miss counters of the spec's σ-type cache.
+    pub fn type_cache_stats(&self) -> CacheStats {
+        self.type_cache.stats()
     }
 
     /// Whether any transition from the configuration `(from, pre)` to

@@ -16,9 +16,9 @@
 
 use crate::lemma21;
 use rega_core::extended::ConstraintKind;
-use rega_core::transform::{complete, state_driven};
+use rega_core::transform::{complete_cached, state_driven_cached};
 use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton};
-use rega_data::RegIdx;
+use rega_data::{RegIdx, SatCache};
 
 /// A projection view of a register automaton.
 #[derive(Clone, Debug)]
@@ -35,6 +35,18 @@ pub struct Projection {
 /// Projects a register automaton without a database onto its first `m`
 /// registers (Proposition 20).
 pub fn project_register_automaton(ra: &RegisterAutomaton, m: u16) -> Result<Projection, CoreError> {
+    let cache = SatCache::new(ra.schema().clone());
+    project_register_automaton_cached(ra, m, &cache)
+}
+
+/// [`project_register_automaton`] sharing a caller-supplied σ-type cache
+/// across the completion, state-driven wiring, joint-satisfiability
+/// pruning and register restriction.
+pub fn project_register_automaton_cached(
+    ra: &RegisterAutomaton,
+    m: u16,
+    cache: &SatCache,
+) -> Result<Projection, CoreError> {
     if !ra.has_no_database() {
         return Err(CoreError::SchemaNotEmpty);
     }
@@ -44,7 +56,7 @@ pub fn project_register_automaton(ra: &RegisterAutomaton, m: u16) -> Result<Proj
             ra.k()
         )));
     }
-    let normalized = state_driven(&complete(ra)?).automaton;
+    let normalized = state_driven_cached(&complete_cached(ra, cache)?, cache).automaton;
 
     // The view: same states, types restricted to the first m registers.
     let mut view = RegisterAutomaton::new(m, ra.schema().clone());
@@ -66,19 +78,19 @@ pub fn project_register_automaton(ra: &RegisterAutomaton, m: u16) -> Result<Proj
         // every (q, δ) to every (q', δ'); only jointly satisfiable pairs
         // occur in real runs.)
         if let Some(next_ty) = normalized.state_type(tr.to) {
-            if !tr.ty.jointly_satisfiable_with(next_ty, normalized.schema()) {
+            if !cache.jointly_satisfiable(&tr.ty, next_ty) {
                 continue;
             }
         }
-        let restricted = tr.ty.restrict_registers(ra.schema(), m)?;
+        let restricted = cache.restrict_registers(&tr.ty, m)?;
         // Distinct completions may restrict identically; the automaton
         // dedupes nothing itself, so skip exact duplicates.
         let dup = view
             .outgoing(tr.from)
             .iter()
-            .any(|&u| view.transition(u).to == tr.to && view.transition(u).ty == restricted);
+            .any(|&u| view.transition(u).to == tr.to && view.transition(u).ty == *restricted);
         if !dup {
-            view.add_transition(tr.from, restricted, tr.to)?;
+            view.add_transition(tr.from, (*restricted).clone(), tr.to)?;
         }
     }
 

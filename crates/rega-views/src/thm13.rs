@@ -29,9 +29,9 @@
 use crate::lemma21;
 use crate::prop6::eliminate_global_equalities;
 use rega_core::extended::ConstraintKind;
-use rega_core::transform::{complete, state_driven};
+use rega_core::transform::{complete_cached, state_driven_cached};
 use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
-use rega_data::RegIdx;
+use rega_data::{RegIdx, SatCache};
 
 /// The result of projecting an extended automaton.
 #[derive(Clone, Debug)]
@@ -46,6 +46,18 @@ pub struct ExtendedProjection {
 /// Projects an extended automaton without a database onto its first `m`
 /// registers (Theorem 13; see the module docs for the supported fragment).
 pub fn project_extended(ext: &ExtendedAutomaton, m: u16) -> Result<ExtendedProjection, CoreError> {
+    let cache = SatCache::new(ext.ra().schema().clone());
+    project_extended_cached(ext, m, &cache)
+}
+
+/// [`project_extended`] sharing a caller-supplied σ-type cache: the
+/// completion, state-driven wiring, joint-satisfiability pruning and
+/// register restriction below all hit the same memo tables.
+pub fn project_extended_cached(
+    ext: &ExtendedAutomaton,
+    m: u16,
+    cache: &SatCache,
+) -> Result<ExtendedProjection, CoreError> {
     if !ext.ra().has_no_database() {
         return Err(CoreError::SchemaNotEmpty);
     }
@@ -76,7 +88,7 @@ pub fn project_extended(ext: &ExtendedAutomaton, m: u16) -> Result<ExtendedProje
 
     // 2. Normalize. (Completion is exponential in the register count; the
     // k added by Proposition 6 is the price of generality here.)
-    let sd = state_driven(&complete(inter.ra())?);
+    let sd = state_driven_cached(&complete_cached(inter.ra(), cache)?, cache);
     let normalized = sd.automaton;
     let norm_map: Vec<StateId> = sd.state_map; // normalized -> intermediate states
 
@@ -100,17 +112,17 @@ pub fn project_extended(ext: &ExtendedAutomaton, m: u16) -> Result<ExtendedProje
         // every (q, δ) to every (q', δ'); only jointly satisfiable pairs
         // occur in real runs.)
         if let Some(next_ty) = normalized.state_type(tr.to) {
-            if !tr.ty.jointly_satisfiable_with(next_ty, normalized.schema()) {
+            if !cache.jointly_satisfiable(&tr.ty, next_ty) {
                 continue;
             }
         }
-        let restricted = tr.ty.restrict_registers(ext.ra().schema(), m)?;
+        let restricted = cache.restrict_registers(&tr.ty, m)?;
         let dup = view
             .outgoing(tr.from)
             .iter()
-            .any(|&u| view.transition(u).to == tr.to && view.transition(u).ty == restricted);
+            .any(|&u| view.transition(u).to == tr.to && view.transition(u).ty == *restricted);
         if !dup {
-            view.add_transition(tr.from, restricted, tr.to)?;
+            view.add_transition(tr.from, (*restricted).clone(), tr.to)?;
         }
     }
     let mut view = ExtendedAutomaton::new(view);

@@ -51,9 +51,9 @@ use rega_core::enhanced::{
     EnhancedAutomaton, FinitenessConstraint, PositionSelector, TupleInequality,
 };
 use rega_core::extended::ConstraintKind;
-use rega_core::transform::{complete_for_atoms, state_driven};
+use rega_core::transform::{complete_for_atoms_cached, state_driven_cached};
 use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
-use rega_data::{Literal, RegIdx, Term};
+use rega_data::{Literal, RegIdx, SatCache, Term};
 use std::collections::{BTreeSet, HashMap};
 
 /// Budgets and limits for the construction.
@@ -110,6 +110,19 @@ pub fn project_hiding_database(
     m: u16,
     opts: &Thm24Options,
 ) -> Result<DatabaseHidingProjection, CoreError> {
+    let cache = SatCache::new(ra.schema().clone());
+    project_hiding_database_cached(ra, m, opts, &cache)
+}
+
+/// [`project_hiding_database`] sharing a caller-supplied σ-type cache
+/// across the equality completion, state-driven wiring,
+/// joint-satisfiability pruning and saturation.
+pub fn project_hiding_database_cached(
+    ra: &RegisterAutomaton,
+    m: u16,
+    opts: &Thm24Options,
+    cache: &SatCache,
+) -> Result<DatabaseHidingProjection, CoreError> {
     if m > ra.k() {
         return Err(CoreError::UnsupportedProjection(format!(
             "cannot keep {m} registers: the automaton has only {}",
@@ -133,8 +146,8 @@ pub fn project_hiding_database(
     }
 
     // 1. Equality completion + state-driven normal form.
-    let completed = complete_for_atoms(ra, &equality_atoms(ra.k()))?;
-    let normalized = state_driven(&completed).automaton;
+    let completed = complete_for_atoms_cached(ra, &equality_atoms(ra.k()), cache)?;
+    let normalized = state_driven_cached(&completed, cache).automaton;
 
     // 2. The view skeleton: empty schema, equality literals on visible
     // registers, wiring filtered by joint satisfiability.
@@ -153,11 +166,11 @@ pub fn project_hiding_database(
     for t in normalized.transition_ids() {
         let tr = normalized.transition(t);
         if let Some(next_ty) = normalized.state_type(tr.to) {
-            if !tr.ty.jointly_satisfiable_with(next_ty, &schema) {
+            if !cache.jointly_satisfiable(&tr.ty, next_ty) {
                 continue;
             }
         }
-        let sat = tr.ty.saturate(&schema)?;
+        let sat = cache.saturate(&tr.ty)?;
         let keep: Vec<Literal> = sat
             .literals()
             .filter(|l| {
@@ -996,6 +1009,7 @@ mod tests {
     #[test]
     fn adom_selector_matches_class_structure() {
         use rega_analysis::classes::ClassStructure;
+        use rega_core::transform::{complete_for_atoms, state_driven};
         let ra = paper::example23();
         let completed = complete_for_atoms(&ra, &equality_atoms(ra.k())).unwrap();
         let normalized = state_driven(&completed).automaton;

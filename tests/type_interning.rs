@@ -1,0 +1,144 @@
+//! Differential tests of the σ-type interning / satisfiability cache
+//! ([`rega_data::SatCache`]) against the direct, clone-based operations on
+//! [`SigmaType`]: for every generated type (satisfiable or not, complete
+//! or not, with and without relational literals) the cached result must
+//! equal the freshly computed one — on first access (a miss) and on
+//! repeat access (a hit served from the memo tables).
+
+use proptest::prelude::*;
+use rega_data::{Literal, SatCache, Schema, SigmaType, Term};
+
+fn schema_with_relations() -> Schema {
+    let mut schema = Schema::empty();
+    schema.add_relation("P", 1).unwrap();
+    schema.add_relation("R", 2).unwrap();
+    schema
+}
+
+const K: u16 = 2;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    (0..K, prop::bool::ANY).prop_map(|(i, x)| if x { Term::x(i) } else { Term::y(i) })
+}
+
+fn literal_strategy(schema: &Schema) -> impl Strategy<Value = Literal> {
+    let p = schema.relation("P").unwrap();
+    let r = schema.relation("R").unwrap();
+    prop_oneof![
+        (term_strategy(), term_strategy()).prop_map(|(s, t)| Literal::eq(s, t)),
+        (term_strategy(), term_strategy()).prop_map(|(s, t)| Literal::neq(s, t)),
+        term_strategy().prop_map(move |t| Literal::rel(p, vec![t])),
+        term_strategy().prop_map(move |t| Literal::rel(p, vec![t]).negated()),
+        (term_strategy(), term_strategy()).prop_map(move |(s, t)| Literal::rel(r, vec![s, t])),
+        (term_strategy(), term_strategy())
+            .prop_map(move |(s, t)| Literal::rel(r, vec![s, t]).negated()),
+    ]
+}
+
+fn type_strategy(schema: &Schema) -> impl Strategy<Value = SigmaType> {
+    // 0..6 literals: includes the empty (maximally incomplete) type, and
+    // duplicates like `P(x1); P(x1)` arise naturally from the collection.
+    prop::collection::vec(literal_strategy(schema), 0..6).prop_map(|lits| SigmaType::new(K, lits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The tentpole's correctness contract: interned-path results equal
+    // direct-path results for every cached operation, both on the miss
+    // and on the memoized hit.
+    #[test]
+    fn cached_operations_agree_with_direct(
+        a in type_strategy(&schema_with_relations()),
+        b in type_strategy(&schema_with_relations()),
+    ) {
+        let schema = schema_with_relations();
+        let cache = SatCache::new(schema.clone());
+
+        // Each op twice: first populates the memo, second must hit it.
+        for _ in 0..2 {
+            // Consistency (satisfiability of the analyzed type).
+            prop_assert_eq!(cache.is_consistent(&a), a.analyze(&schema).is_ok());
+            prop_assert_eq!(cache.is_consistent(&b), b.analyze(&schema).is_ok());
+
+            // Saturation, on satisfiable types.
+            match (cache.saturate(&a), a.saturate(&schema)) {
+                (Ok(cached), Ok(direct)) => prop_assert_eq!(&*cached, &direct),
+                (Err(_), Err(_)) => {}
+                (c, d) => prop_assert!(false, "saturate disagrees: {:?} vs {:?}", c, d),
+            }
+
+            // Joint satisfiability of consecutive types — including the
+            // incomplete ones the ad-hoc `joint_sat` maps used to handle.
+            prop_assert_eq!(
+                cache.jointly_satisfiable(&a, &b),
+                a.jointly_satisfiable_with(&b, &schema)
+            );
+            prop_assert_eq!(
+                cache.jointly_satisfiable(&b, &a),
+                b.jointly_satisfiable_with(&a, &schema)
+            );
+
+            // Register restriction (the Prop 20 / Thm 13 workhorse).
+            for m in 0..=K {
+                match (cache.restrict_registers(&a, m), a.restrict_registers(&schema, m)) {
+                    (Ok(cached), Ok(direct)) => prop_assert_eq!(&*cached, &direct),
+                    (Err(_), Err(_)) => {}
+                    (c, d) => prop_assert!(false, "restrict disagrees: {:?} vs {:?}", c, d),
+                }
+            }
+
+            // Pre/post projections feeding `agrees_with`.
+            match (cache.agrees_with(&a, &b), a.agrees_with(&b, &schema)) {
+                (Ok(cached), Ok(direct)) => prop_assert_eq!(cached, direct),
+                (Err(_), Err(_)) => {}
+                (c, d) => prop_assert!(false, "agrees_with disagrees: {:?} vs {:?}", c, d),
+            }
+        }
+
+        // The second pass must have been served from the memo tables.
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "repeat lookups recorded no hits: {:?}", stats);
+    }
+}
+
+/// The pinned incomplete-type case from the issue: `P(x1); P(x1)` (a
+/// duplicated positive literal, far from complete) must flow through the
+/// cache exactly like the direct path, alone and jointly.
+#[test]
+fn incomplete_duplicate_literal_type() {
+    let schema = schema_with_relations();
+    let p = schema.relation("P").unwrap();
+    let ty = SigmaType::new(
+        K,
+        [
+            Literal::rel(p, vec![Term::x(0)]),
+            Literal::rel(p, vec![Term::x(0)]),
+        ],
+    );
+    let contradictory = ty.with(Literal::rel(p, vec![Term::x(0)]).negated());
+    let cache = SatCache::new(schema.clone());
+
+    assert!(cache.is_consistent(&ty));
+    assert!(!cache.is_consistent(&contradictory));
+    assert_eq!(
+        &*cache.saturate(&ty).unwrap(),
+        &ty.saturate(&schema).unwrap()
+    );
+    assert_eq!(
+        cache.jointly_satisfiable(&ty, &ty),
+        ty.jointly_satisfiable_with(&ty, &schema)
+    );
+    assert_eq!(
+        cache.jointly_satisfiable(&ty, &contradictory),
+        ty.jointly_satisfiable_with(&contradictory, &schema)
+    );
+    // Interning collapses the duplicate-literal type and its saturation
+    // chain into stable ids: repeating every query above only adds hits.
+    let before = cache.stats();
+    assert!(cache.is_consistent(&ty));
+    let _ = cache.saturate(&ty);
+    let after = cache.stats();
+    assert_eq!(before.misses, after.misses);
+    assert!(after.hits > before.hits);
+}

@@ -241,3 +241,117 @@ fn emptiness_lasso_runs_admit_their_projection() {
         );
     }
 }
+
+/// Differential pin of the `SControl` NBA's accepting-state convention
+/// (state `1 + t.idx()` accepting iff `from(t) ∈ F`) against ground-truth
+/// run semantics ([`LassoRun::validate`]'s Büchi condition: an accepting
+/// state inside the loop).
+///
+/// Over 0-register, database-free automata every control wiring is a real
+/// run (all types are empty, hence trivially satisfied), so the NBA and
+/// the run semantics must agree on *every* candidate lasso — exhaustively
+/// enumerated below. The automata are chosen so that `{t : from(t) ∈ F}`
+/// and `{t : to(t) ∈ F}` differ, i.e. the two plausible conventions mark
+/// different NBA states accepting; a mis-marked construction (off-by-one
+/// letter position, accepting start state, prefix-sensitive acceptance)
+/// diverges from the oracle on some enumerated lasso.
+#[test]
+fn scontrol_nba_acceptance_agrees_with_run_semantics() {
+    use rega_automata::Lasso;
+    use rega_core::run::{Config, LassoRun};
+    use rega_core::symbolic::scontrol_nba;
+    use rega_core::{RegisterAutomaton, TransId};
+    use rega_data::{Database, Schema, SigmaType};
+
+    // Builds a 0-register automaton from (initials, accepting, edges).
+    fn build(
+        n: usize,
+        inits: &[usize],
+        accepting: &[usize],
+        edges: &[(usize, usize)],
+    ) -> RegisterAutomaton {
+        let mut ra = RegisterAutomaton::new(0, Schema::empty());
+        let states: Vec<_> = (0..n).map(|i| ra.add_state(&format!("s{i}"))).collect();
+        for &i in inits {
+            ra.set_initial(states[i]);
+        }
+        for &i in accepting {
+            ra.set_accepting(states[i]);
+        }
+        for &(u, v) in edges {
+            ra.add_transition(states[u], SigmaType::empty(0), states[v])
+                .unwrap();
+        }
+        ra
+    }
+
+    // Run-semantics oracle: does (prefix, cycle) describe a valid
+    // accepting lasso run? Wiring is reconstructed from the transitions;
+    // any inconsistency means "no run", matching an NBA with no path.
+    fn run_accepts(ra: &RegisterAutomaton, prefix: &[TransId], cycle: &[TransId]) -> bool {
+        let word: Vec<TransId> = prefix.iter().chain(cycle).copied().collect();
+        let mut configs = vec![Config::new(ra.transition(word[0]).from, vec![])];
+        for (i, &t) in word.iter().enumerate() {
+            if ra.transition(t).from != configs[i].state {
+                return false; // broken wiring: not a run at all
+            }
+            configs.push(Config::new(ra.transition(t).to, vec![]));
+        }
+        // The wrap-around step must re-enter the cycle's first position.
+        if configs.pop().unwrap().state != configs[prefix.len()].state {
+            return false;
+        }
+        let run = LassoRun::new(configs, word, prefix.len());
+        run.validate(ra, &Database::new(Schema::empty())).is_ok()
+    }
+
+    // Automata where from- and to-acceptance differ per transition:
+    let cases = [
+        // accepting init leads into a non-accepting 2-cycle; a second
+        // accepting 2-cycle hangs off the start.
+        build(4, &[0], &[0, 3], &[(0, 1), (1, 2), (2, 1), (0, 3), (3, 0)]),
+        // accepting state reachable in the prefix only (never in a cycle).
+        build(3, &[0], &[1], &[(0, 1), (1, 2), (2, 2)]),
+        // self-loops on accepting and non-accepting states plus a bridge.
+        build(2, &[0], &[1], &[(0, 0), (0, 1), (1, 1), (1, 0)]),
+        // two initial states, only one of which reaches acceptance.
+        build(4, &[0, 2], &[3], &[(0, 1), (1, 0), (2, 3), (3, 2)]),
+    ];
+    for (ci, ra) in cases.iter().enumerate() {
+        let nba = scontrol_nba(ra).unwrap();
+        let trans: Vec<TransId> = ra.transition_ids().collect();
+        // All words prefix·cycle^ω with |prefix| ≤ 2, 1 ≤ |cycle| ≤ 3.
+        let seqs = |len: usize| -> Vec<Vec<TransId>> {
+            let mut out = vec![vec![]];
+            for _ in 0..len {
+                out = out
+                    .into_iter()
+                    .flat_map(|s| {
+                        trans.iter().map(move |&t| {
+                            let mut s2 = s.clone();
+                            s2.push(t);
+                            s2
+                        })
+                    })
+                    .collect();
+            }
+            out
+        };
+        for plen in 0..=2 {
+            for clen in 1..=3 {
+                for prefix in seqs(plen) {
+                    for cycle in seqs(clen) {
+                        let nba_accepts =
+                            nba.accepts_lasso(&Lasso::new(prefix.clone(), cycle.clone()));
+                        let oracle = run_accepts(ra, &prefix, &cycle);
+                        assert_eq!(
+                            nba_accepts, oracle,
+                            "case {ci}: SControl NBA and run semantics disagree on \
+                             prefix {prefix:?}, cycle {cycle:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub fn universal_witness_database(
     // collecting witnesses for every accepting lasso via the public API.
     // One `SatCache` serves the `SControl` construction and every
     // per-lasso structure build below.
+    let _span = rega_obs::span!("chase.universal_witness");
     let cache = SatCache::new(ext.ra().schema().clone());
     let nba = rega_core::symbolic::scontrol_nba_cached(ext.ra(), &cache)?;
     let lassos = rega_automata::emptiness::enumerate_accepting_lassos(
@@ -57,7 +58,8 @@ pub fn universal_witness_database(
     let mut combined = Database::new(ext.ra().schema().clone());
     let mut witnesses: Vec<Witness> = Vec::new();
     let mut offset = 0u64;
-    for control in lassos {
+    for (round, control) in lassos.into_iter().enumerate() {
+        let _round = rega_obs::span!("chase.round", round = round);
         // Run the emptiness pipeline on just this lasso by temporarily
         // treating it as the only candidate: reuse the internal helpers via
         // a single-candidate check.
@@ -118,6 +120,11 @@ pub fn universal_witness_database(
                 None => true,
             }
     });
+    rega_obs::event!(
+        "chase.done",
+        witnesses = witnesses.len(),
+        facts = combined.total_facts()
+    );
     Ok(UniversalWitness {
         database: combined,
         witnesses,

@@ -117,6 +117,7 @@ impl ClassStructure {
         horizon: usize,
         cache: &SatCache,
     ) -> Result<ClassStructure, CoreError> {
+        let _span = rega_obs::span!("classes.build", horizon = horizon);
         let ra = ext.ra();
         let k = ra.k() as usize;
         let num_consts = ra.schema().num_constants();
@@ -318,6 +319,7 @@ impl ClassStructure {
         opts: ClassOptions,
         cache: &SatCache,
     ) -> Result<ClassStructure, CoreError> {
+        let _span = rega_obs::span!("classes.build_stable");
         let window = w.prefix_len() + 2 * w.period();
         let mut prev_sig: Option<Vec<u8>> = None;
         let mut stable_for = 0usize;

@@ -108,17 +108,39 @@ pub fn check_emptiness_cached(
     opts: &EmptinessOptions,
     cache: &SatCache,
 ) -> Result<EmptinessVerdict, CoreError> {
-    let nba = scontrol_nba_cached(ext.ra(), cache)?;
-    let lassos =
-        nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
-    // The structure horizon must comfortably exceed the largest collapse
-    // period: prefix + 2·t·period + slack.
-    for control in lassos {
-        if let Some(w) = witness_for_lasso_cached(ext, &control, opts, cache)? {
-            return Ok(EmptinessVerdict::NonEmpty(Box::new(w)));
+    let _check = rega_obs::span!("emptiness.check", max_lassos = opts.max_lassos);
+    let nba = {
+        let _phase = rega_obs::span!("emptiness.nba_build");
+        scontrol_nba_cached(ext.ra(), cache)?
+    };
+    let lassos = {
+        let _phase = rega_obs::span!("emptiness.lasso_search");
+        let lassos =
+            nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
+        rega_obs::event!("emptiness.lassos", candidates = lassos.len());
+        lassos
+    };
+    let verdict = (|| {
+        for (i, control) in lassos.iter().enumerate() {
+            let _phase = rega_obs::span!("emptiness.witness", lasso = i);
+            if let Some(w) = witness_for_lasso_cached(ext, control, opts, cache)? {
+                return Ok(EmptinessVerdict::NonEmpty(Box::new(w)));
+            }
         }
-    }
-    Ok(EmptinessVerdict::Empty)
+        Ok(EmptinessVerdict::Empty)
+    })();
+    let stats = cache.stats();
+    rega_obs::event!(
+        "satcache.stats",
+        hits = stats.hits,
+        misses = stats.misses,
+        distinct = stats.distinct_types
+    );
+    rega_obs::event!(
+        "emptiness.verdict",
+        nonempty = matches!(verdict, Ok(ref v) if v.is_nonempty())
+    );
+    verdict
 }
 
 /// Runs the single-lasso pipeline: stabilized structure, consistency,

@@ -10,13 +10,21 @@
 //! rega echo <spec>                  parse and re-render the spec
 //! rega monitor <spec> --events <file.jsonl> [--shards N] [--workers N]
 //!                     [--view M] [--seed N] [--submit-timeout-ms N]
-//!                     [--quarantine-cap N]
+//!                     [--quarantine-cap N] [--metrics-interval-ms N]
 //!                                   stream multi-session monitoring
+//! rega trace-report <trace.jsonl>   per-phase wall-time tree of a trace
 //! ```
+//!
+//! Every command additionally accepts the global `--trace-json <path>`
+//! flag, which records a structured JSONL trace (spans + events from the
+//! construction pipeline) to `path` for later inspection with
+//! `rega trace-report`.
 //!
 //! With `--seed`, `monitor` runs the deterministic simulation scheduler
 //! (single-threaded, seeded interleavings, simulated clock) instead of the
 //! worker pool — the same events and seed always produce the same summary.
+//! With `--metrics-interval-ms`, `monitor` emits one JSONL metrics
+//! snapshot per interval on stderr while the run is in flight.
 //!
 //! Specs use the format of `rega_core::spec`. LTL-FO propositions are
 //! quantifier-free formulas in the same literal syntax, e.g.
@@ -37,7 +45,9 @@ fn usage() -> ExitCode {
          rega project <spec-file> <m>\n  rega lr <spec-file>\n  rega dot <spec-file>\n  \
          rega echo <spec-file>\n  \
          rega monitor <spec-file> --events <file.jsonl|-> [--shards N] [--workers N] [--view M]\n  \
-         {:12}[--seed N] [--submit-timeout-ms N] [--quarantine-cap N]",
+         {:12}[--seed N] [--submit-timeout-ms N] [--quarantine-cap N] [--metrics-interval-ms N]\n  \
+         rega trace-report <trace.jsonl>\n\
+         global flags:\n  --trace-json <path>   record a structured JSONL trace of the run",
         ""
     );
     ExitCode::from(2)
@@ -112,7 +122,21 @@ fn term_to_qf(t: rega_data::Term) -> rega_data::QfTerm {
 }
 
 fn run() -> Result<ExitCode, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flag: `--trace-json <path>` installs a JSONL trace sink for
+    // the whole invocation; the guard flushes on exit.
+    let mut _trace_guard = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace-json") {
+        let path = args
+            .get(pos + 1)
+            .cloned()
+            .ok_or_else(|| "--trace-json needs a path".to_string())?;
+        args.drain(pos..pos + 2);
+        _trace_guard = Some(
+            rega_obs::install_jsonl(std::path::Path::new(&path))
+                .map_err(|e| format!("cannot open trace file {path}: {e}"))?,
+        );
+    }
     let Some(cmd) = args.first() else {
         return Ok(usage());
     };
@@ -216,6 +240,16 @@ fn run() -> Result<ExitCode, String> {
             }
             monitor(&args[1], &args[2..])
         }
+        "trace-report" => {
+            let [_, path] = &args[..] else {
+                return Ok(usage());
+            };
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let summary = rega_obs::report::summarize(&text)?;
+            print!("{}", rega_obs::report::render(&summary));
+            Ok(ExitCode::SUCCESS)
+        }
         _ => Ok(usage()),
     }
 }
@@ -230,6 +264,7 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
     let mut events_path: Option<String> = None;
     let mut view_m: Option<u16> = None;
     let mut seed: Option<u64> = None;
+    let mut metrics_interval: Option<std::time::Duration> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -272,6 +307,15 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|_| "--quarantine-cap must be a number".to_string())?;
             }
+            "--metrics-interval-ms" => {
+                let ms: u64 = value("--metrics-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--metrics-interval-ms must be a number".to_string())?;
+                if ms == 0 {
+                    return Err("--metrics-interval-ms must be positive".to_string());
+                }
+                metrics_interval = Some(std::time::Duration::from_millis(ms));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -289,6 +333,37 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         Some(seed) => Engine::start_sim(spec, config, seed),
         None => Engine::start(spec, config),
     };
+
+    // Periodic metrics snapshots: one JSONL line per interval on stderr,
+    // leaving stdout to the final summary. The thread stops (and emits one
+    // last line) when the run finishes.
+    let metrics_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let metrics_thread = metrics_interval.map(|interval| {
+        let metrics = std::sync::Arc::clone(engine.metrics());
+        let stop = std::sync::Arc::clone(&metrics_stop);
+        std::thread::spawn(move || {
+            let emit = |metrics: &rega_stream::EngineMetrics| {
+                if let Ok(line) = serde_json::to_string(&metrics.snapshot()) {
+                    eprintln!("{line}");
+                }
+            };
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                emit(&metrics);
+                // Sleep in small slices so shutdown is not delayed by up
+                // to a whole interval.
+                let mut remaining = interval;
+                let slice = std::time::Duration::from_millis(10);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed)
+                    && remaining > std::time::Duration::ZERO
+                {
+                    let step = remaining.min(slice);
+                    std::thread::sleep(step);
+                    remaining = remaining.saturating_sub(step);
+                }
+            }
+            emit(&metrics);
+        })
+    });
 
     let reader: Box<dyn BufRead> = if events_path == "-" {
         Box::new(std::io::stdin().lock())
@@ -323,6 +398,10 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         }
     }
     let report = engine.finish();
+    metrics_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = metrics_thread {
+        let _ = handle.join();
+    }
 
     let mut violations = Vec::new();
     for outcome in report.violations() {
@@ -342,11 +421,9 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         "parse_errors": parse_errors,
         "submit_errors": submit_errors,
         "quarantined": metrics
-            .events_quarantined
-            .load(std::sync::atomic::Ordering::Relaxed),
+            .events_quarantined.get(),
         "worker_panics": metrics
-            .worker_panics
-            .load(std::sync::atomic::Ordering::Relaxed),
+            .worker_panics.get(),
         "metrics": metrics.snapshot(),
     });
     println!(

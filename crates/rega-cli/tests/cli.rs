@@ -128,6 +128,119 @@ fn project_beyond_k_errors_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported projection"));
 }
 
+/// A scratch path under the target directory, unique per test.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut p = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(format!("{name}_{}", std::process::id()));
+    p
+}
+
+#[test]
+fn trace_json_then_trace_report_round_trip() {
+    let trace = scratch("trace_roundtrip.jsonl");
+    let out = rega()
+        .args([
+            "empty",
+            &repo_spec("example1.rega"),
+            "--trace-json",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Every line is a JSON object with the pinned `kind` discriminator.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+        assert!(v.get("kind").and_then(|k| k.as_str()).is_some());
+    }
+
+    let report = rega()
+        .args(["trace-report", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        report.status.success(),
+        "trace-report must parse its own output"
+    );
+    let rendered = String::from_utf8_lossy(&report.stdout);
+    assert!(rendered.contains("wall-time tree"));
+    assert!(rendered.contains("emptiness.check"));
+    assert!(rendered.contains("emptiness.nba_build"));
+    assert!(rendered.contains("satcache hit ratio"));
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn trace_report_rejects_garbage() {
+    let path = scratch("trace_garbage.jsonl");
+    std::fs::write(&path, "not json\n").unwrap();
+    let out = rega()
+        .args(["trace-report", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn monitor_metrics_interval_emits_jsonl_snapshots() {
+    let events = scratch("monitor_events.jsonl");
+    // Valid example1 runs: q1 → q2 → q2 with both registers pinned to one
+    // per-session value satisfies every transition type on the way.
+    let mut lines = String::new();
+    for s in 0..8 {
+        let v = s + 1;
+        for state in ["q1", "q2", "q2"] {
+            lines.push_str(&format!(
+                "{{\"session\":\"s{s}\",\"state\":\"{state}\",\"regs\":[{v},{v}]}}\n"
+            ));
+        }
+        lines.push_str(&format!("{{\"session\":\"s{s}\",\"end\":true}}\n"));
+    }
+    std::fs::write(&events, lines).unwrap();
+
+    let out = rega()
+        .args([
+            "monitor",
+            &repo_spec("example1.rega"),
+            "--events",
+            events.to_str().unwrap(),
+            "--metrics-interval-ms",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stderr carries at least one JSONL metrics snapshot (the final one is
+    // always emitted on shutdown), each a parseable snapshot object.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let mut snapshots = 0;
+    for line in stderr.lines().filter(|l| l.starts_with('{')) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("snapshot is JSON");
+        assert!(v.get("events").is_some());
+        assert!(v.get("queues").is_some());
+        snapshots += 1;
+    }
+    assert!(
+        snapshots >= 1,
+        "expected at least one snapshot, stderr: {stderr}"
+    );
+
+    // The final stdout summary is unaffected.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary: serde_json::Value = serde_json::from_str(&stdout).expect("summary is JSON");
+    assert_eq!(summary.get("sessions").and_then(|v| v.as_u64()), Some(8));
+    let _ = std::fs::remove_file(&events);
+}
+
 #[test]
 fn bad_usage_and_bad_file() {
     let out = rega().args(["frobnicate"]).output().expect("binary runs");

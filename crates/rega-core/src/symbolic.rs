@@ -54,6 +54,7 @@ pub fn scontrol_nba_cached(
     ra: &RegisterAutomaton,
     cache: &SatCache,
 ) -> Result<Nba<TransId>, CoreError> {
+    let _span = rega_obs::span!("scontrol.nba_build");
     let alphabet: Vec<TransId> = ra.transition_ids().collect();
     let n = alphabet.len();
     // Compatibility of consecutive transitions: `t` can follow `u` iff
@@ -82,13 +83,21 @@ pub fn scontrol_nba_cached(
         }
         nba.set_accepting(1 + t.idx(), ra.is_accepting(ra.transition(t).from));
     }
+    let mut edges = 0u64;
     for &u in &alphabet {
         for &t in &alphabet {
             if ra.transition(u).to == ra.transition(t).from && compatible(u, t) {
                 nba.add_transition(1 + u.idx(), &t, 1 + t.idx());
+                edges += 1;
             }
         }
     }
+    rega_obs::event!(
+        "scontrol.nba_built",
+        states = n + 1,
+        edges = edges,
+        types_interned = cache.stats().distinct_types
+    );
     Ok(nba)
 }
 

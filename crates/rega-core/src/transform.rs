@@ -28,6 +28,7 @@ pub fn complete_cached(
     ra: &RegisterAutomaton,
     cache: &SatCache,
 ) -> Result<RegisterAutomaton, CoreError> {
+    let _span = rega_obs::span!("transform.complete", states = ra.num_states());
     let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
     for s in ra.states() {
         let s2 = out.add_state(ra.state_name(s));
@@ -45,6 +46,11 @@ pub fn complete_cached(
             out.add_transition_interned(tr.from, (*completion).clone(), tr.to, cache)?;
         }
     }
+    rega_obs::event!(
+        "transform.completed",
+        transitions_in = ra.num_transitions(),
+        transitions_out = out.num_transitions()
+    );
     Ok(out)
 }
 
@@ -71,6 +77,7 @@ pub fn state_driven(ra: &RegisterAutomaton) -> StateDriven {
 /// construction duplicates each type once per successor pair, so the cache
 /// reduces the quadratic re-analysis to one analysis per distinct type.
 pub fn state_driven_cached(ra: &RegisterAutomaton, cache: &SatCache) -> StateDriven {
+    let _span = rega_obs::span!("transform.state_driven", states = ra.num_states());
     // Distinct outgoing types per state.
     let mut types_of: Vec<Vec<SigmaType>> = vec![Vec::new(); ra.num_states()];
     for t in ra.transition_ids() {

@@ -154,6 +154,12 @@ pub struct SatCache {
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Process-global mirrors in the [`rega_obs::global`] registry,
+    /// aggregated across every cache instance, so a trace or metrics dump
+    /// can report σ-type cache effectiveness without a handle on the
+    /// specific cache.
+    global_hits: rega_obs::Counter,
+    global_misses: rega_obs::Counter,
 }
 
 impl SatCache {
@@ -164,6 +170,8 @@ impl SatCache {
             inner: Mutex::new(CacheInner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            global_hits: rega_obs::global().counter("satcache.hits"),
+            global_misses: rega_obs::global().counter("satcache.misses"),
         }
     }
 
@@ -174,10 +182,12 @@ impl SatCache {
 
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.global_hits.inc();
     }
 
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.global_misses.inc();
     }
 
     /// Interns a type, returning its handle.

@@ -1,0 +1,37 @@
+//! `rega-obs` — the observability substrate of the rega workspace.
+//!
+//! The paper's constructions (`SControl(A)`, the projection views, the
+//! chase, Büchi emptiness) are exponential-prone pipelines; when a run
+//! takes seconds the interesting question is *which phase* and *how many
+//! σ-types*. This crate makes that visible with three std-only pieces:
+//!
+//! * **Tracing** ([`trace`], [`sink`]): a thread-local span stack with
+//!   monotonic (or injectable) timestamps and pluggable sinks — a JSONL
+//!   writer for offline analysis, an in-memory collector for tests, and a
+//!   no-op default whose cost is one relaxed atomic load per span. The
+//!   [`span!`] and [`event!`] macros compile to nothing with the `trace`
+//!   feature disabled.
+//! * **Metrics** ([`metrics`]): lock-free [`Counter`]/[`Gauge`]/
+//!   [`Histogram`] handles, registered by name in a [`Registry`] (one
+//!   process-wide [`global()`] registry plus per-engine instances) and
+//!   snapshotted as JSON.
+//! * **Reporting** ([`report`]): parses a JSONL trace back into a
+//!   per-span wall-time tree plus the latest structured values — the
+//!   engine behind `rega trace-report`.
+//!
+//! Tracing is *process-global* and opt-in: nothing is recorded until a
+//! sink is [`install`](trace::install)ed. Installation takes a
+//! process-wide lock released when the returned guard drops, so
+//! concurrent tests serialize instead of corrupting each other's traces.
+
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use sink::{JsonlSink, MemorySink, TraceSink};
+pub use trace::{
+    install, install_jsonl, install_memory, is_active, FieldValue, ManualClock, ObsClock,
+    SinkGuard, SpanGuard, TraceEvent, TraceEventKind,
+};

@@ -1,0 +1,277 @@
+//! Offline trace analysis: parse a JSONL trace back into a per-span
+//! wall-time tree plus the latest structured values — the engine behind
+//! `rega trace-report`.
+
+use serde_json::Value as Json;
+use std::collections::BTreeMap;
+
+/// Aggregated spans sharing one name path: `count` completions, `total_ns`
+/// summed wall time, children keyed by name.
+#[derive(Debug, Default)]
+pub struct SpanNode {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Summed wall time of those spans.
+    pub total_ns: u64,
+    /// Child spans by name, in name order.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+impl SpanNode {
+    fn descend(&mut self, path: &[String]) -> &mut SpanNode {
+        let mut node = self;
+        for name in path {
+            node = node.children.entry(name.clone()).or_default();
+        }
+        node
+    }
+}
+
+/// Everything `trace-report` extracts from a trace file.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Aggregated wall-time tree (the root holds only children).
+    pub tree: SpanNode,
+    /// Records by kind.
+    pub span_starts: u64,
+    /// `span_end` records seen.
+    pub span_ends: u64,
+    /// `event` records seen.
+    pub events: u64,
+    /// Latest value per `event-name.field`, in key order.
+    pub latest: BTreeMap<String, Json>,
+    /// Spans started but never ended (a stuck or aborted run).
+    pub unclosed: Vec<String>,
+    /// `(hits, misses)` from the last `satcache.stats` event.
+    pub satcache: Option<(u64, u64)>,
+}
+
+impl TraceSummary {
+    /// SatCache hit ratio in `[0, 1]`, when the trace reported stats and
+    /// at least one lookup happened.
+    pub fn satcache_hit_ratio(&self) -> Option<f64> {
+        let (hits, misses) = self.satcache?;
+        let total = hits + misses;
+        if total == 0 {
+            return None;
+        }
+        Some(hits as f64 / total as f64)
+    }
+}
+
+/// Parses a JSONL trace. Returns `Err` on the first malformed line — a
+/// trace that does not parse should fail loudly, not report nonsense.
+pub fn summarize(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    // span id -> (name, path from the root *including* the span itself).
+    let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: Json = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not valid JSON: {e:?}", lineno + 1))?;
+        let kind = record
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+        let name = record
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
+            .to_string();
+        match kind {
+            "span_start" => {
+                summary.span_starts += 1;
+                let span = record
+                    .get("span")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {}: span_start without span id", lineno + 1))?;
+                let mut path = record
+                    .get("parent")
+                    .and_then(Json::as_u64)
+                    .and_then(|p| open.get(&p).cloned())
+                    .unwrap_or_default();
+                path.push(name);
+                open.insert(span, path);
+            }
+            "span_end" => {
+                summary.span_ends += 1;
+                let span = record
+                    .get("span")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {}: span_end without span id", lineno + 1))?;
+                let dur_ns = record.get("dur_ns").and_then(Json::as_u64).unwrap_or(0);
+                let path = open
+                    .remove(&span)
+                    .unwrap_or_else(|| vec![format!("<unknown:{name}>")]);
+                let node = summary.tree.descend(&path);
+                node.count += 1;
+                node.total_ns += dur_ns;
+            }
+            "event" => {
+                summary.events += 1;
+                if let Some(fields) = record.get("fields").and_then(Json::as_object) {
+                    for (key, value) in fields {
+                        summary
+                            .latest
+                            .insert(format!("{name}.{key}"), value.clone());
+                    }
+                    if name == "satcache.stats" {
+                        if let (Some(hits), Some(misses)) = (
+                            fields.get("hits").and_then(Json::as_u64),
+                            fields.get("misses").and_then(Json::as_u64),
+                        ) {
+                            summary.satcache = Some((hits, misses));
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+        }
+    }
+    let mut unclosed: Vec<String> = open.into_values().map(|path| path.join(" > ")).collect();
+    unclosed.sort();
+    unclosed.dedup();
+    summary.unclosed = unclosed;
+    Ok(summary)
+}
+
+/// Human-readable duration: picks ns / µs / ms / s by magnitude.
+pub fn format_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn render_node(out: &mut String, name: &str, node: &SpanNode, depth: usize) {
+    out.push_str(&format!(
+        "{:indent$}{:<width$} {:>6}x {:>12}\n",
+        "",
+        name,
+        node.count,
+        format_ns(node.total_ns),
+        indent = 2 * depth,
+        width = 44usize.saturating_sub(2 * depth),
+    ));
+    for (child_name, child) in &node.children {
+        render_node(out, child_name, child, depth + 1);
+    }
+}
+
+/// Renders the summary as the multi-line text report printed by
+/// `rega trace-report`.
+pub fn render(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace report: {} records ({} span starts, {} span ends, {} events)\n",
+        summary.span_starts + summary.span_ends + summary.events,
+        summary.span_starts,
+        summary.span_ends,
+        summary.events,
+    ));
+    out.push_str("\nwall-time tree (count, total wall time):\n");
+    if summary.tree.children.is_empty() {
+        out.push_str("  (no completed spans)\n");
+    }
+    for (name, node) in &summary.tree.children {
+        render_node(&mut out, name, node, 1);
+    }
+    if !summary.unclosed.is_empty() {
+        out.push_str("\nunclosed spans (started, never ended):\n");
+        for path in &summary.unclosed {
+            out.push_str(&format!("  {path}\n"));
+        }
+    }
+    if !summary.latest.is_empty() {
+        out.push_str("\nlatest values:\n");
+        for (key, value) in &summary.latest {
+            let rendered = serde_json::to_string(value).unwrap_or_else(|_| "<?>".to_string());
+            out.push_str(&format!("  {key} = {rendered}\n"));
+        }
+    }
+    if let Some((hits, misses)) = summary.satcache {
+        match summary.satcache_hit_ratio() {
+            Some(ratio) => out.push_str(&format!(
+                "\nsatcache hit ratio: {:.1}% ({hits} hits / {misses} misses)\n",
+                100.0 * ratio
+            )),
+            None => out.push_str("\nsatcache hit ratio: n/a (no lookups)\n"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+{"kind":"span_start","name":"emptiness.check","parent":null,"span":0,"thread":0,"ts_ns":0}
+{"kind":"span_start","name":"emptiness.nba_build","parent":0,"span":1,"thread":0,"ts_ns":10}
+{"dur_ns":90,"kind":"span_end","name":"emptiness.nba_build","span":1,"thread":0,"ts_ns":100}
+{"kind":"span_start","name":"emptiness.lasso_search","parent":0,"span":2,"thread":0,"ts_ns":100}
+{"fields":{"candidates":3},"kind":"event","name":"emptiness.lassos","span":2,"thread":0,"ts_ns":150}
+{"dur_ns":100,"kind":"span_end","name":"emptiness.lasso_search","span":2,"thread":0,"ts_ns":200}
+{"fields":{"distinct":7,"hits":42,"misses":7},"kind":"event","name":"satcache.stats","span":0,"thread":0,"ts_ns":210}
+{"dur_ns":220,"kind":"span_end","name":"emptiness.check","span":0,"thread":0,"ts_ns":220}
+"#;
+
+    #[test]
+    fn summarize_builds_the_phase_tree() {
+        let summary = summarize(SAMPLE).unwrap();
+        assert_eq!(summary.span_starts, 3);
+        assert_eq!(summary.span_ends, 3);
+        assert_eq!(summary.events, 2);
+        let check = &summary.tree.children["emptiness.check"];
+        assert_eq!(check.count, 1);
+        assert_eq!(check.total_ns, 220);
+        assert_eq!(check.children["emptiness.nba_build"].total_ns, 90);
+        assert_eq!(check.children["emptiness.lasso_search"].total_ns, 100);
+        assert!(summary.unclosed.is_empty());
+        assert_eq!(
+            summary.latest["emptiness.lassos.candidates"].as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn satcache_ratio_comes_from_the_last_stats_event() {
+        let summary = summarize(SAMPLE).unwrap();
+        assert_eq!(summary.satcache, Some((42, 7)));
+        let ratio = summary.satcache_hit_ratio().unwrap();
+        assert!((ratio - 42.0 / 49.0).abs() < 1e-12);
+        let rendered = render(&summary);
+        assert!(rendered.contains("satcache hit ratio: 85.7%"));
+        assert!(rendered.contains("emptiness.nba_build"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_reported_not_lost() {
+        let text = r#"{"kind":"span_start","name":"stuck.phase","parent":null,"span":0,"thread":0,"ts_ns":0}"#;
+        let summary = summarize(text).unwrap();
+        assert_eq!(summary.unclosed, vec!["stuck.phase".to_string()]);
+        assert!(render(&summary).contains("unclosed spans"));
+    }
+
+    #[test]
+    fn malformed_lines_fail_loudly() {
+        assert!(summarize("not json").is_err());
+        assert!(summarize(r#"{"kind":"mystery","name":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(999), "999 ns");
+        assert_eq!(format_ns(25_000), "25.0 µs");
+        assert_eq!(format_ns(12_500_000), "12.5 ms");
+        assert_eq!(format_ns(10_000_000_000), "10.00 s");
+    }
+}

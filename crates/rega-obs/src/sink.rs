@@ -1,0 +1,102 @@
+//! Trace sinks: where [`TraceEvent`]s go once a sink is installed.
+
+use crate::trace::TraceEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of trace records. Implementations must be cheap and
+/// non-blocking where possible — `record` runs inline on instrumented
+/// threads.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, event: &TraceEvent);
+    /// Flushes buffered output (called when the install guard drops).
+    fn flush(&self) {}
+}
+
+/// Writes one JSON object per line to a file, buffered.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            // A generous buffer keeps write syscalls off instrumented hot
+            // paths (~1.7k records between flushes); the install guard
+            // flushes the tail on drop.
+            writer: Mutex::new(BufWriter::with_capacity(256 * 1024, file)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        thread_local! {
+            static LINE: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+        }
+        LINE.with(|buf| {
+            let mut line = buf.borrow_mut();
+            line.clear();
+            // Serialize outside the lock (and without the `Value` tree the
+            // golden test pins this against) — `record` runs inline on
+            // instrumented hot paths.
+            event.write_jsonl(&mut line);
+            line.push('\n');
+            let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            // A full disk mid-trace must not panic the instrumented
+            // thread; the trace just ends early.
+            let _ = writer.write_all(line.as_bytes());
+        });
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.flush();
+    }
+}
+
+/// Collects records in memory; cloning shares the same buffer, so tests
+/// keep one handle and install the other.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// An empty collector.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}

@@ -1,0 +1,96 @@
+//! Golden-file test pinning the JSONL trace schema: the exact field set
+//! (and key order — serialization sorts keys) per event kind. Mirrors the
+//! metrics-snapshot golden test in rega-stream so downstream parsers of
+//! `--trace-json` output don't silently break.
+//!
+//! If the schema changes *deliberately*, regenerate with
+//! `REGA_BLESS=1 cargo test -p rega-obs --test trace_schema` and update
+//! the consumers (`rega trace-report`, external dashboards) in the same
+//! change.
+
+#![cfg(feature = "trace")]
+
+use rega_obs::{event, install, span, JsonlSink, ManualClock, MemorySink, TraceSink};
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/testdata/trace_schema.golden.jsonl"
+);
+
+/// A fixed instrumented run on a [`ManualClock`]: one nested span pair
+/// with fields, a field-free span, and two events (one outside any span).
+fn fixed_trace(sink: Arc<dyn TraceSink>) {
+    let clock = Arc::new(ManualClock::new());
+    let guard = install(sink, clock.clone());
+    {
+        let _check = span!("emptiness.check", spec = "example1", max_lassos = 64u64);
+        clock.advance(100);
+        {
+            let _nba = span!("emptiness.nba_build");
+            clock.advance(900);
+            event!(
+                "nba.built",
+                states = 4u64,
+                transitions = 9u64,
+                pruned = false
+            );
+        }
+        clock.advance(50);
+        event!(
+            "satcache.stats",
+            hits = 42u64,
+            misses = 7u64,
+            distinct = 7u64
+        );
+        clock.advance(25);
+    }
+    drop(guard);
+}
+
+fn check_against_golden(got: &str) {
+    if std::env::var_os("REGA_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, format!("{}\n", got.trim_end())).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with REGA_BLESS=1 to create it");
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "JSONL trace schema drifted from the golden file; if deliberate, \
+         re-bless with REGA_BLESS=1 and update trace consumers"
+    );
+}
+
+#[test]
+fn jsonl_schema_matches_golden_file() {
+    let mem = MemorySink::new();
+    fixed_trace(Arc::new(mem.clone()));
+    let got: Vec<String> = mem
+        .events()
+        .iter()
+        .map(|e| serde_json::to_string(&e.to_json()).unwrap())
+        .collect();
+    check_against_golden(&got.join("\n"));
+}
+
+/// The file-backed sink must write byte-identical lines to what the
+/// in-memory events serialize to — one JSON object per line, flushed when
+/// the guard drops.
+#[test]
+fn jsonl_sink_writes_the_same_lines() {
+    let path = std::env::temp_dir().join(format!(
+        "rega_obs_trace_schema_{}.jsonl",
+        std::process::id()
+    ));
+    fixed_trace(Arc::new(JsonlSink::create(&path).unwrap()));
+    let got = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    check_against_golden(&got);
+    // Every line is standalone valid JSON with a "kind" discriminator.
+    for line in got.lines() {
+        let value: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(value.get("kind").and_then(|k| k.as_str()).is_some());
+    }
+}

@@ -45,7 +45,6 @@ use crate::spec::CompiledSpec;
 use serde_json::Value as Json;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -308,14 +307,12 @@ pub(crate) fn process(
     metrics.sync_type_cache(&spec.type_cache_stats());
     let name = event.session();
     if shard.closed.contains_key(name) {
-        metrics
-            .events_after_eviction
-            .fetch_add(1, Ordering::Relaxed);
+        metrics.events_after_eviction.inc();
         if lenient {
             // Post-eviction traffic (e.g. a duplicated terminal event) is
             // a transport fault too; it is benign in both modes, but in
             // lenient mode it also shows up in the quarantine counter.
-            metrics.events_quarantined.fetch_add(1, Ordering::Relaxed);
+            metrics.events_quarantined.inc();
         }
         return;
     }
@@ -326,30 +323,30 @@ pub(crate) fn process(
             regs,
         } => {
             if lenient && (regs.len() != spec.registers() || spec.state_id(&state).is_none()) {
-                metrics.events_quarantined.fetch_add(1, Ordering::Relaxed);
+                metrics.events_quarantined.inc();
                 // Corrupt events never *create* a session; they only count
                 // against an existing one's budget.
                 if let Some(session) = shard.live.get_mut(&name) {
                     session.quarantined += 1;
                     if session.quarantined > quarantine_cap {
                         session.force_violation(ViolationKind::QuarantineOverflow);
-                        metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+                        metrics.sessions_violated.inc();
                         evict(metrics, shard, &name);
                     }
                 }
                 return;
             }
             let session = shard.live.entry(name.clone()).or_insert_with(|| {
-                metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
+                metrics.sessions_started.inc();
                 metrics.session_in();
                 Session::new(spec, max_frontier)
             });
             match session.step(spec, &state, &regs) {
                 SessionStatus::Active => {
-                    metrics.events_ok.fetch_add(1, Ordering::Relaxed);
+                    metrics.events_ok.inc();
                 }
                 SessionStatus::Violated(_) => {
-                    metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_violated.inc();
                     evict(metrics, shard, &name);
                 }
                 SessionStatus::Ended => unreachable!("step never yields Ended"),
@@ -359,16 +356,16 @@ pub(crate) fn process(
             match shard.live.get_mut(&name) {
                 Some(session) => {
                     if session.end() == &SessionStatus::Ended {
-                        metrics.sessions_ended.fetch_add(1, Ordering::Relaxed);
+                        metrics.sessions_ended.inc();
                     }
                     evict(metrics, shard, &name);
                 }
                 None => {
                     // An end for a session that never stepped: record it as
                     // an ended, empty session.
-                    metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
-                    metrics.sessions_ended.fetch_add(1, Ordering::Relaxed);
-                    metrics.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_started.inc();
+                    metrics.sessions_ended.inc();
+                    metrics.sessions_evicted.inc();
                     shard.closed.insert(
                         name.clone(),
                         SessionOutcome {
@@ -392,7 +389,7 @@ pub(crate) fn evict(metrics: &EngineMetrics, shard: &mut ShardState, name: &str)
         return;
     };
     if session.view_degraded {
-        metrics.view_degraded.fetch_add(1, Ordering::Relaxed);
+        metrics.view_degraded.inc();
     }
     metrics.session_out();
     shard.closed.insert(
@@ -514,7 +511,7 @@ trans p -> p : x1 = x1
                 SessionStatus::Violated(ViolationKind::QuarantineOverflow)
             );
             assert_eq!(
-                metrics.events_quarantined.load(Ordering::Relaxed),
+                metrics.events_quarantined.get(),
                 cap + 1,
                 "every malformed event is counted, including the tipping one"
             );

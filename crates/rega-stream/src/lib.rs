@@ -27,8 +27,9 @@
 //!   full queue back-pressures the producer. Sessions are evicted on their
 //!   terminal event, keeping resident state proportional to the number of
 //!   *live* sessions, not the number ever seen.
-//! * [`metrics::EngineMetrics`] — lock-free counters and coarse
-//!   power-of-two latency histograms, exportable as JSON.
+//! * [`metrics::EngineMetrics`] — a per-engine [`rega_obs`] metrics
+//!   registry: lock-free counters, queue-depth gauges per shard, and
+//!   coarse power-of-two latency histograms, exportable as JSON.
 //!
 //! Failure semantics and testability (see the README's "Failure
 //! semantics" section for the full contract):

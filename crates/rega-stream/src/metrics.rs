@@ -1,121 +1,62 @@
-//! Lock-free engine metrics: monotonic counters, a live-session gauge with
-//! a high-water mark, fault/quarantine accounting, and coarse power-of-two
-//! latency histograms.
+//! Engine metrics, backed by the workspace-wide [`rega_obs`] registry:
+//! monotonic counters, a live-session gauge with a high-water mark,
+//! fault/quarantine accounting, coarse power-of-two latency histograms,
+//! and per-shard queue-depth gauges.
 //!
-//! All timestamps feeding the histograms come from an injectable
-//! [`Clock`](crate::clock::Clock), so a simulation run with a
-//! [`SimClock`](crate::clock::SimClock) produces bit-for-bit reproducible
-//! snapshots — the JSON schema is pinned by a golden-file test.
+//! Every handle here is registered by name in a per-engine
+//! [`Registry`](rega_obs::Registry) (engines must not share counts, so the
+//! process-global registry is not used), and the hot paths touch only the
+//! cloned lock-free handles. All timestamps feeding the histograms come
+//! from an injectable [`Clock`](crate::clock::Clock), so a simulation run
+//! with a [`SimClock`](crate::clock::SimClock) produces bit-for-bit
+//! reproducible snapshots — the JSON schema is pinned by a golden-file
+//! test.
 
+use rega_obs::{Counter, Gauge, Registry};
 use serde_json::{json, Value as Json};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Number of power-of-two latency buckets: bucket `i` counts durations in
-/// `[2^i, 2^(i+1))` nanoseconds, the last bucket is unbounded (≥ ~33 ms).
-const BUCKETS: usize = 26;
+/// The coarse base-2 latency histogram (now the shared
+/// [`rega_obs::Histogram`]; the old standalone type moved there when the
+/// registry was introduced).
+pub type LatencyHistogram = rega_obs::Histogram;
 
-/// A coarse base-2 histogram of durations.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Records one duration (saturating at `u64::MAX` nanoseconds).
-    pub fn record(&self, d: Duration) {
-        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Records one duration given directly in nanoseconds (the form the
-    /// injectable clock produces).
-    pub fn record_ns(&self, ns: u64) {
-        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total recorded samples.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// An approximate quantile (upper bound of the bucket containing it),
-    /// in nanoseconds. Returns 0 with no samples.
-    pub fn approx_quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        1u64 << 63
-    }
-
-    fn snapshot(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.load(Ordering::Relaxed) > 0)
-            .map(|(i, b)| {
-                json!({
-                    "le_ns": 1u64 << (i + 1).min(63),
-                    "count": b.load(Ordering::Relaxed),
-                })
-            })
-            .collect();
-        json!({
-            "count": self.count(),
-            "p50_ns_le": self.approx_quantile_ns(0.5),
-            "p99_ns_le": self.approx_quantile_ns(0.99),
-            "buckets": Json::Array(buckets),
-        })
-    }
-}
-
-/// Counters shared by the producer and all workers. Everything is relaxed
-/// atomics: metrics never synchronize data, they only count.
-#[derive(Debug, Default)]
+/// Counters shared by the producer and all workers. Everything is a
+/// relaxed-atomic [`rega_obs`] handle: metrics never synchronize data,
+/// they only count.
+#[derive(Debug)]
 pub struct EngineMetrics {
     /// Events submitted to the engine (accepted into a queue).
-    pub events_submitted: AtomicU64,
+    pub events_submitted: Counter,
     /// Events fully processed by a worker.
-    pub events_processed: AtomicU64,
+    pub events_processed: Counter,
     /// Step events applied to an `Active` session without violation.
-    pub events_ok: AtomicU64,
+    pub events_ok: Counter,
     /// Sessions created.
-    pub sessions_started: AtomicU64,
+    pub sessions_started: Counter,
     /// Sessions that received their terminal event while still valid.
-    pub sessions_ended: AtomicU64,
+    pub sessions_ended: Counter,
     /// Sessions whose stream violated the specification.
-    pub sessions_violated: AtomicU64,
+    pub sessions_violated: Counter,
     /// Sessions evicted (terminal event or violation) — their monitoring
     /// state has been dropped.
-    pub sessions_evicted: AtomicU64,
+    pub sessions_evicted: Counter,
     /// Events addressed to an already-evicted session (ignored).
-    pub events_after_eviction: AtomicU64,
+    pub events_after_eviction: Counter,
     /// Sessions whose view observer degraded to three-valued answers.
-    pub view_degraded: AtomicU64,
-    /// Currently resident sessions across all shards.
-    pub sessions_active: AtomicU64,
-    /// High-water mark of `sessions_active`.
-    pub sessions_active_peak: AtomicU64,
+    pub view_degraded: Counter,
+    /// Currently resident sessions across all shards, with the high-water
+    /// mark tracked by the gauge's peak.
+    pub sessions_active: Gauge,
     /// Transport-faulty events (bad arity, unknown state, post-eviction or
     /// post-end traffic) dropped without touching session state, in
     /// lenient mode (`quarantine_cap > 0`).
-    pub events_quarantined: AtomicU64,
+    pub events_quarantined: Counter,
     /// Worker panics that were caught, with the worker respawned in place
     /// and its shard state handed back to it.
-    pub worker_panics: AtomicU64,
+    pub worker_panics: Counter,
     /// Submissions rejected with a typed error (arity validation, queue
     /// timeout, dead workers).
-    pub submit_errors: AtomicU64,
+    pub submit_errors: Counter,
     /// Per-event worker processing latency.
     pub process_latency: LatencyHistogram,
     /// Time events spent waiting in shard queues.
@@ -124,69 +65,118 @@ pub struct EngineMetrics {
     /// (interned satisfiability/saturation lookups that were served from
     /// the memo tables). Synced from the spec by workers; stores, not
     /// increments, so replays cannot double-count.
-    pub type_cache_hits: AtomicU64,
+    pub type_cache_hits: Counter,
     /// σ-type cache misses (lookups that had to run the full analysis).
-    pub type_cache_misses: AtomicU64,
+    pub type_cache_misses: Counter,
+    /// Per-shard queue depth (events enqueued, not yet handled), one gauge
+    /// per shard; empty for engines built without shard knowledge.
+    pub queue_depth: Vec<Gauge>,
+    /// The registry all the handles above are registered in, for uniform
+    /// by-name snapshots alongside the schema-pinned [`snapshot`].
+    ///
+    /// [`snapshot`]: EngineMetrics::snapshot
+    registry: Registry,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::with_shards(0)
+    }
 }
 
 impl EngineMetrics {
+    /// A fresh metric set registered in its own registry, with one
+    /// queue-depth gauge per shard.
+    pub fn with_shards(shards: usize) -> Self {
+        let registry = Registry::new();
+        let queue_depth = (0..shards)
+            .map(|i| registry.gauge(&format!("stream.queue.depth.{i}")))
+            .collect();
+        EngineMetrics {
+            events_submitted: registry.counter("stream.events.submitted"),
+            events_processed: registry.counter("stream.events.processed"),
+            events_ok: registry.counter("stream.events.ok"),
+            sessions_started: registry.counter("stream.sessions.started"),
+            sessions_ended: registry.counter("stream.sessions.ended"),
+            sessions_violated: registry.counter("stream.sessions.violated"),
+            sessions_evicted: registry.counter("stream.sessions.evicted"),
+            events_after_eviction: registry.counter("stream.events.after_eviction"),
+            view_degraded: registry.counter("stream.sessions.view_degraded"),
+            sessions_active: registry.gauge("stream.sessions.active"),
+            events_quarantined: registry.counter("stream.faults.quarantined"),
+            worker_panics: registry.counter("stream.faults.worker_panics"),
+            submit_errors: registry.counter("stream.faults.submit_errors"),
+            process_latency: registry.histogram("stream.latency.process_ns"),
+            queue_latency: registry.histogram("stream.latency.queue_ns"),
+            type_cache_hits: registry.counter("stream.symbolic.type_cache_hits"),
+            type_cache_misses: registry.counter("stream.symbolic.type_cache_misses"),
+            queue_depth,
+            registry,
+        }
+    }
+
+    /// The registry holding every handle, keyed by `stream.*` names.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Registers a session becoming resident.
     pub fn session_in(&self) {
-        let now = self.sessions_active.fetch_add(1, Ordering::Relaxed) + 1;
-        self.sessions_active_peak.fetch_max(now, Ordering::Relaxed);
+        self.sessions_active.inc();
     }
 
     /// Registers a session being evicted. The gauge saturates at zero
     /// rather than wrapping, so a restore-after-crash that replays an
     /// eviction can never poison the metric.
     pub fn session_out(&self) {
-        let _ = self
-            .sessions_active
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
-                Some(n.saturating_sub(1))
-            });
-        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.dec();
+        self.sessions_evicted.inc();
     }
 
     /// Overwrites the σ-type cache counters with the cache's current
     /// totals (absolute stores: the `SatCache` owns the running count).
     pub fn sync_type_cache(&self, stats: &rega_data::CacheStats) {
-        self.type_cache_hits.store(stats.hits, Ordering::Relaxed);
-        self.type_cache_misses
-            .store(stats.misses, Ordering::Relaxed);
+        self.type_cache_hits.set(stats.hits);
+        self.type_cache_misses.set(stats.misses);
     }
 
-    /// A JSON snapshot of all counters and histograms.
+    /// A JSON snapshot of all counters, histograms, and queue gauges.
     pub fn snapshot(&self) -> Json {
-        let c = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        let queues: Vec<Json> = self
+            .queue_depth
+            .iter()
+            .enumerate()
+            .map(|(i, g)| json!({"shard": i, "depth": g.get(), "peak": g.peak()}))
+            .collect();
         json!({
             "events": {
-                "submitted": c(&self.events_submitted),
-                "processed": c(&self.events_processed),
-                "ok": c(&self.events_ok),
-                "after_eviction": c(&self.events_after_eviction),
+                "submitted": self.events_submitted.get(),
+                "processed": self.events_processed.get(),
+                "ok": self.events_ok.get(),
+                "after_eviction": self.events_after_eviction.get(),
             },
             "sessions": {
-                "started": c(&self.sessions_started),
-                "ended": c(&self.sessions_ended),
-                "violated": c(&self.sessions_violated),
-                "evicted": c(&self.sessions_evicted),
-                "active": c(&self.sessions_active),
-                "active_peak": c(&self.sessions_active_peak),
-                "view_degraded": c(&self.view_degraded),
+                "started": self.sessions_started.get(),
+                "ended": self.sessions_ended.get(),
+                "violated": self.sessions_violated.get(),
+                "evicted": self.sessions_evicted.get(),
+                "active": self.sessions_active.get(),
+                "active_peak": self.sessions_active.peak(),
+                "view_degraded": self.view_degraded.get(),
             },
             "faults": {
-                "quarantined": c(&self.events_quarantined),
-                "worker_panics": c(&self.worker_panics),
-                "submit_errors": c(&self.submit_errors),
+                "quarantined": self.events_quarantined.get(),
+                "worker_panics": self.worker_panics.get(),
+                "submit_errors": self.submit_errors.get(),
             },
             "latency": {
                 "process": self.process_latency.snapshot(),
                 "queue": self.queue_latency.snapshot(),
             },
+            "queues": Json::Array(queues),
             "symbolic": {
-                "type_cache_hits": c(&self.type_cache_hits),
-                "type_cache_misses": c(&self.type_cache_misses),
+                "type_cache_hits": self.type_cache_hits.get(),
+                "type_cache_misses": self.type_cache_misses.get(),
             },
         })
     }
@@ -196,55 +186,7 @@ impl EngineMetrics {
 mod tests {
     use super::*;
     use crate::clock::{Clock, SimClock};
-
-    #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        for _ in 0..99 {
-            h.record(Duration::from_nanos(100)); // bucket [64, 128)
-        }
-        h.record(Duration::from_micros(100)); // far tail
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.approx_quantile_ns(0.5), 128);
-        assert!(h.approx_quantile_ns(1.0) >= 100_000);
-    }
-
-    #[test]
-    fn bucket_boundaries_are_exact_powers_of_two() {
-        // 2^i lands in bucket i (upper bound 2^(i+1)); 2^i - 1 lands one
-        // bucket below. Checked through the snapshot's `le_ns` labels.
-        for i in [1usize, 4, 10, 20] {
-            let h = LatencyHistogram::default();
-            h.record_ns(1 << i);
-            let snap = h.snapshot();
-            assert_eq!(
-                snap["buckets"][0]["le_ns"].as_u64(),
-                Some(1 << (i + 1)),
-                "2^{i} must land in bucket [{}, {})",
-                1u64 << i,
-                1u64 << (i + 1)
-            );
-            let h = LatencyHistogram::default();
-            h.record_ns((1 << i) - 1);
-            let snap = h.snapshot();
-            assert_eq!(snap["buckets"][0]["le_ns"].as_u64(), Some(1 << i));
-        }
-        // 0 ns is clamped into the first bucket, huge durations into the
-        // last, both without panicking (saturating record).
-        let h = LatencyHistogram::default();
-        h.record_ns(0);
-        h.record_ns(u64::MAX);
-        h.record(Duration::MAX);
-        assert_eq!(h.count(), 3);
-        let snap = h.snapshot();
-        assert_eq!(snap["buckets"][0]["le_ns"].as_u64(), Some(2));
-        assert_eq!(
-            snap["buckets"][1]["le_ns"].as_u64(),
-            Some(1u64 << BUCKETS.min(63)),
-            "oversized samples collapse into the unbounded last bucket"
-        );
-        assert_eq!(snap["buckets"][1]["count"].as_u64(), Some(2));
-    }
+    use std::time::Duration;
 
     #[test]
     fn session_gauge_saturates_instead_of_wrapping() {
@@ -252,28 +194,48 @@ mod tests {
         m.session_in();
         m.session_out();
         m.session_out(); // extra eviction (e.g. replayed after a restore)
-        assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
-        assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 2);
+        assert_eq!(m.sessions_active.get(), 0);
+        assert_eq!(m.sessions_evicted.get(), 2);
         // The gauge still works afterwards.
         m.session_in();
-        assert_eq!(m.sessions_active.load(Ordering::Relaxed), 1);
+        assert_eq!(m.sessions_active.get(), 1);
     }
 
     #[test]
     fn snapshot_is_json() {
-        let m = EngineMetrics::default();
+        let m = EngineMetrics::with_shards(2);
         m.session_in();
         m.session_in();
         m.session_out();
         m.process_latency.record(Duration::from_micros(3));
+        m.queue_depth[1].inc();
         let snap = m.snapshot();
         assert_eq!(snap["sessions"]["active"].as_u64(), Some(1));
         assert_eq!(snap["sessions"]["active_peak"].as_u64(), Some(2));
         assert_eq!(snap["latency"]["process"]["count"].as_u64(), Some(1));
+        assert_eq!(
+            snap["latency"]["process"]["saturated"].as_bool(),
+            Some(false)
+        );
         assert_eq!(snap["faults"]["quarantined"].as_u64(), Some(0));
+        assert_eq!(snap["queues"][1]["depth"].as_u64(), Some(1));
         // round-trips through the serializer
         let text = serde_json::to_string(&snap).unwrap();
         assert!(serde_json::from_str(&text).is_ok());
+    }
+
+    /// The same counts are visible through the registry's uniform by-name
+    /// snapshot (what `--metrics-interval-ms` and dashboards consume).
+    #[test]
+    fn registry_snapshot_mirrors_the_handles() {
+        let m = EngineMetrics::with_shards(1);
+        m.events_submitted.add(5);
+        m.session_in();
+        m.queue_depth[0].inc();
+        let snap = m.registry().snapshot();
+        assert_eq!(snap["stream.events.submitted"].as_u64(), Some(5));
+        assert_eq!(snap["stream.sessions.active"]["value"].as_u64(), Some(1));
+        assert_eq!(snap["stream.queue.depth.0"]["peak"].as_u64(), Some(1));
     }
 
     /// Golden-file schema test: a fixed sequence of counter updates and
@@ -292,17 +254,17 @@ mod tests {
             let started = clock.now_ns();
             clock.advance(process_ns);
             m.process_latency.record_ns(clock.now_ns() - started);
-            m.events_submitted.fetch_add(1, Ordering::Relaxed);
-            m.events_processed.fetch_add(1, Ordering::Relaxed);
-            m.events_ok.fetch_add(1, Ordering::Relaxed);
+            m.events_submitted.inc();
+            m.events_processed.inc();
+            m.events_ok.inc();
         }
         m.session_in();
         m.session_in();
         m.session_out();
-        m.sessions_started.fetch_add(2, Ordering::Relaxed);
-        m.sessions_ended.fetch_add(1, Ordering::Relaxed);
-        m.events_quarantined.fetch_add(3, Ordering::Relaxed);
-        m.worker_panics.fetch_add(1, Ordering::Relaxed);
+        m.sessions_started.add(2);
+        m.sessions_ended.inc();
+        m.events_quarantined.add(3);
+        m.worker_panics.inc();
         m.sync_type_cache(&rega_data::CacheStats {
             hits: 42,
             misses: 7,

@@ -89,7 +89,7 @@ impl ThreadedScheduler {
     pub fn start(spec: Arc<CompiledSpec>, config: EngineConfig) -> ThreadedScheduler {
         let shards = config.shards.max(1);
         let workers = config.workers.max(1).min(shards);
-        let metrics = Arc::new(EngineMetrics::default());
+        let metrics = Arc::new(EngineMetrics::with_shards(shards));
         let clock = Arc::new(SystemClock::new());
         let live_workers = Arc::new(AtomicUsize::new(workers));
         let mut senders = Vec::with_capacity(shards);
@@ -102,9 +102,10 @@ impl ThreadedScheduler {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             // Worker w owns shards w, w+workers, w+2·workers, …
-            let owned: Vec<Receiver<Envelope>> = (w..shards)
-                .step_by(workers)
-                .map(|i| receivers[i].take().expect("each shard owned once"))
+            let owned_ids: Vec<usize> = (w..shards).step_by(workers).collect();
+            let owned: Vec<Receiver<Envelope>> = owned_ids
+                .iter()
+                .map(|&i| receivers[i].take().expect("each shard owned once"))
                 .collect();
             let spec = Arc::clone(&spec);
             let metrics = Arc::clone(&metrics);
@@ -122,6 +123,7 @@ impl ThreadedScheduler {
                             metrics,
                             clock,
                             owned,
+                            owned_ids,
                             injector,
                             max_frontier,
                             quarantine_cap,
@@ -158,20 +160,25 @@ impl ThreadedScheduler {
         });
         loop {
             match self.senders[shard].try_send(env) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if let Some(depth) = self.metrics.queue_depth.get(shard) {
+                        depth.inc();
+                    }
+                    return Ok(());
+                }
                 Err(TrySendError::Disconnected(_)) => {
-                    self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.submit_errors.inc();
                     return Err(SubmitError::WorkersDead);
                 }
                 Err(TrySendError::Full(back)) => {
                     env = back;
                     if self.live_workers.load(Ordering::Acquire) == 0 {
-                        self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.submit_errors.inc();
                         return Err(SubmitError::WorkersDead);
                     }
                     if let Some(deadline) = deadline_ns {
                         if self.clock.now_ns() >= deadline {
-                            self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.submit_errors.inc();
                             return Err(SubmitError::QueueFull { shard });
                         }
                     }
@@ -186,7 +193,7 @@ impl Scheduler for ThreadedScheduler {
     fn submit(&mut self, event: Event) -> Result<(), SubmitError> {
         if let Event::Step { regs, .. } = &event {
             if regs.len() != self.registers {
-                self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.submit_errors.inc();
                 return Err(SubmitError::Arity {
                     got: regs.len(),
                     want: self.registers,
@@ -197,18 +204,14 @@ impl Scheduler for ThreadedScheduler {
         // duplicated terminal events ride in *after* the genuine event
         // (and bypass the arity gate — that is the point).
         let injected = self.producer_faults.injected_copies(&event);
-        self.metrics
-            .events_submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.events_submitted.inc();
         self.route(Envelope {
             event,
             submitted_ns: self.clock.now_ns(),
             fault_immune: false,
         })?;
         for copy in injected {
-            self.metrics
-                .events_submitted
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.events_submitted.inc();
             self.route(Envelope {
                 event: copy,
                 submitted_ns: self.clock.now_ns(),
@@ -253,6 +256,7 @@ fn worker_entry(
     metrics: Arc<EngineMetrics>,
     clock: Arc<SystemClock>,
     receivers: Vec<Receiver<Envelope>>,
+    shard_ids: Vec<usize>,
     mut injector: FaultInjector,
     max_frontier: usize,
     quarantine_cap: u64,
@@ -269,6 +273,7 @@ fn worker_entry(
                 &metrics,
                 &*clock,
                 &receivers,
+                &shard_ids,
                 &mut ctx,
                 &mut injector,
                 max_frontier,
@@ -278,7 +283,7 @@ fn worker_entry(
         match run {
             Ok(()) => break, // clean drain: every owned queue disconnected
             Err(_) => {
-                metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                metrics.worker_panics.inc();
                 if let Some((i, env)) = ctx.inflight.take() {
                     if env.fault_immune {
                         // Second panic on the same event: poison it.
@@ -308,11 +313,11 @@ fn worker_entry(
 /// Quarantines a twice-panicking event and evicts its session as
 /// [`ViolationKind::WorkerPanic`].
 fn poison(metrics: &EngineMetrics, shard: &mut ShardState, event: &Event) {
-    metrics.events_quarantined.fetch_add(1, Ordering::Relaxed);
+    metrics.events_quarantined.inc();
     let name = event.session().to_string();
     if let Some(session) = shard.live.get_mut(&name) {
         session.force_violation(ViolationKind::WorkerPanic);
-        metrics.sessions_violated.fetch_add(1, Ordering::Relaxed);
+        metrics.sessions_violated.inc();
         evict(metrics, shard, &name);
     }
 }
@@ -323,6 +328,7 @@ fn worker_loop(
     metrics: &EngineMetrics,
     clock: &dyn Clock,
     receivers: &[Receiver<Envelope>],
+    shard_ids: &[usize],
     ctx: &mut WorkerCtx,
     injector: &mut FaultInjector,
     max_frontier: usize,
@@ -338,15 +344,21 @@ fn worker_loop(
             ctx,
             injector,
             i,
+            shard_ids[i],
             env,
             max_frontier,
             quarantine_cap,
             faulty,
         );
     }
+    // Spans are batch-granular (one per drained burst, carrying the global
+    // shard id), not per-event — a span on every event would dominate the
+    // hot path.
+    const BATCH: usize = 64;
     // Single-shard workers can block on recv (no other queue to starve).
     if let [rx] = receivers {
         while let Ok(env) = rx.recv() {
+            let _batch = rega_obs::span!("stream.shard_batch", shard = shard_ids[0]);
             handle_one(
                 spec,
                 metrics,
@@ -354,44 +366,85 @@ fn worker_loop(
                 ctx,
                 injector,
                 0,
+                shard_ids[0],
                 env,
                 max_frontier,
                 quarantine_cap,
                 faulty,
             );
+            for _ in 1..BATCH {
+                match rx.try_recv() {
+                    Ok(env) => handle_one(
+                        spec,
+                        metrics,
+                        clock,
+                        ctx,
+                        injector,
+                        0,
+                        shard_ids[0],
+                        env,
+                        max_frontier,
+                        quarantine_cap,
+                        faulty,
+                    ),
+                    Err(_) => break,
+                }
+            }
         }
         return;
     }
     // Round-robin over owned shards; drain in small batches to stay fair.
-    const BATCH: usize = 64;
     loop {
         let mut progressed = false;
         for (i, rx) in receivers.iter().enumerate() {
             if !ctx.open[i] {
                 continue;
             }
-            for _ in 0..BATCH {
-                match rx.try_recv() {
-                    Ok(env) => {
-                        handle_one(
-                            spec,
-                            metrics,
-                            clock,
-                            ctx,
-                            injector,
-                            i,
-                            env,
-                            max_frontier,
-                            quarantine_cap,
-                            faulty,
-                        );
-                        progressed = true;
+            match rx.try_recv() {
+                Ok(first) => {
+                    let _batch = rega_obs::span!("stream.shard_batch", shard = shard_ids[i]);
+                    handle_one(
+                        spec,
+                        metrics,
+                        clock,
+                        ctx,
+                        injector,
+                        i,
+                        shard_ids[i],
+                        first,
+                        max_frontier,
+                        quarantine_cap,
+                        faulty,
+                    );
+                    progressed = true;
+                    for _ in 1..BATCH {
+                        match rx.try_recv() {
+                            Ok(env) => {
+                                handle_one(
+                                    spec,
+                                    metrics,
+                                    clock,
+                                    ctx,
+                                    injector,
+                                    i,
+                                    shard_ids[i],
+                                    env,
+                                    max_frontier,
+                                    quarantine_cap,
+                                    faulty,
+                                );
+                            }
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => {
+                                ctx.open[i] = false;
+                                break;
+                            }
+                        }
                     }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
-                        ctx.open[i] = false;
-                        break;
-                    }
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    ctx.open[i] = false;
                 }
             }
         }
@@ -416,11 +469,15 @@ fn handle_one(
     ctx: &mut WorkerCtx,
     injector: &mut FaultInjector,
     shard_idx: usize,
+    shard_id: usize,
     env: Envelope,
     max_frontier: usize,
     quarantine_cap: u64,
     faulty: bool,
 ) {
+    if let Some(depth) = metrics.queue_depth.get(shard_id) {
+        depth.dec();
+    }
     metrics
         .queue_latency
         .record_ns(clock.now_ns().saturating_sub(env.submitted_ns));
@@ -460,6 +517,6 @@ fn handle_one(
     metrics
         .process_latency
         .record_ns(clock.now_ns().saturating_sub(started));
-    metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+    metrics.events_processed.inc();
     ctx.inflight = None;
 }

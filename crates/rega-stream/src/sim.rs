@@ -39,7 +39,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::{json, Value as Json};
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Queue-wait jitter drawn per delivery, in nanoseconds.
@@ -94,7 +93,7 @@ impl SimScheduler {
         SimScheduler {
             registers: spec.registers(),
             spec,
-            metrics: Arc::new(EngineMetrics::default()),
+            metrics: Arc::new(EngineMetrics::with_shards(shards)),
             clock,
             rng: StdRng::seed_from_u64(seed),
             worker_faults: FaultInjector::new(&plan, 0),
@@ -136,7 +135,7 @@ impl SimScheduler {
                 .ok_or_else(|| err("live session must be named"))?
                 .to_string();
             let session = Session::restore(&sim.spec, &entry["state"])?;
-            sim.metrics.sessions_started.fetch_add(1, Ordering::Relaxed);
+            sim.metrics.sessions_started.inc();
             sim.metrics.session_in();
             let shard = shard_index(&name, n);
             if sim.shards[shard].live.insert(name, session).is_some() {
@@ -166,6 +165,9 @@ impl SimScheduler {
         let Some(q) = self.queues[shard_idx].pop_front() else {
             return;
         };
+        if let Some(depth) = self.metrics.queue_depth.get(shard_idx) {
+            depth.dec();
+        }
         self.clock.advance(self.rng.gen_range(QUEUE_JITTER_NS));
         self.metrics
             .queue_latency
@@ -179,7 +181,7 @@ impl SimScheduler {
                 // state, respawns, and retries the event as immune — the
                 // same recovery the threaded scheduler performs, minus the
                 // actual unwinding.
-                self.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.metrics.worker_panics.inc();
                 if !self.worker_faults.respawn() {
                     self.dead = true;
                     return; // the event dies with the worker pool
@@ -199,9 +201,7 @@ impl SimScheduler {
         self.metrics
             .process_latency
             .record_ns(self.clock.now_ns().saturating_sub(started));
-        self.metrics
-            .events_processed
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.events_processed.inc();
     }
 
     /// Delivers one event from an RNG-chosen non-empty shard. Returns
@@ -231,9 +231,10 @@ impl SimScheduler {
         while !self.dead && self.queues[shard].len() >= self.queue_capacity {
             self.deliver_front(shard);
         }
-        self.metrics
-            .events_submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.events_submitted.inc();
+        if let Some(depth) = self.metrics.queue_depth.get(shard) {
+            depth.inc();
+        }
         self.queues[shard].push_back(QueuedEvent {
             event,
             submitted_ns: self.clock.now_ns(),
@@ -245,12 +246,12 @@ impl SimScheduler {
 impl Scheduler for SimScheduler {
     fn submit(&mut self, event: Event) -> Result<(), SubmitError> {
         if self.dead {
-            self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.submit_errors.inc();
             return Err(SubmitError::WorkersDead);
         }
         if let Event::Step { regs, .. } = &event {
             if regs.len() != self.registers {
-                self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.submit_errors.inc();
                 return Err(SubmitError::Arity {
                     got: regs.len(),
                     want: self.registers,
@@ -271,7 +272,7 @@ impl Scheduler for SimScheduler {
             }
         }
         if self.dead {
-            self.metrics.submit_errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.submit_errors.inc();
             return Err(SubmitError::WorkersDead);
         }
         Ok(())

@@ -49,6 +49,11 @@ impl CompiledSpec {
         db: Database,
         view_m: Option<u16>,
     ) -> Result<Self, CoreError> {
+        let _span = rega_obs::span!(
+            "stream.compile_spec",
+            states = ext.ra().num_states(),
+            with_view = view_m.is_some()
+        );
         let ra = ext.ra();
         let mut state_by_name = HashMap::new();
         for s in 0..ra.num_states() {

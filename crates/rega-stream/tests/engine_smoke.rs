@@ -4,7 +4,6 @@
 use rega_core::spec::parse_spec;
 use rega_data::{Database, Schema};
 use rega_stream::{parse_event, CompiledSpec, Engine, EngineConfig, SessionStatus};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn counter_spec() -> Arc<CompiledSpec> {
@@ -65,12 +64,12 @@ fn verdicts_are_per_session_and_order_preserving() {
     assert_eq!(by_name("open").status, SessionStatus::Active);
     assert_eq!(report.violations().count(), 1);
     let m = &report.metrics;
-    assert_eq!(m.events_submitted.load(Ordering::Relaxed), 8);
-    assert_eq!(m.events_processed.load(Ordering::Relaxed), 8);
-    assert_eq!(m.events_after_eviction.load(Ordering::Relaxed), 1);
-    assert_eq!(m.sessions_started.load(Ordering::Relaxed), 3);
-    assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 3);
-    assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+    assert_eq!(m.events_submitted.get(), 8);
+    assert_eq!(m.events_processed.get(), 8);
+    assert_eq!(m.events_after_eviction.get(), 1);
+    assert_eq!(m.sessions_started.get(), 3);
+    assert_eq!(m.sessions_evicted.get(), 3);
+    assert_eq!(m.sessions_active.get(), 0);
 }
 
 #[test]
@@ -122,12 +121,12 @@ fn hundred_thousand_events_thousand_sessions_bounded_memory() {
         .iter()
         .all(|o| o.status == SessionStatus::Ended));
     let m = &report.metrics;
-    assert_eq!(m.events_processed.load(Ordering::Relaxed), 100_000);
-    assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 2000);
-    assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+    assert_eq!(m.events_processed.get(), 100_000);
+    assert_eq!(m.sessions_evicted.get(), 2000);
+    assert_eq!(m.sessions_active.get(), 0);
     // The bounded-memory claim: never more than one wave (plus slack for
     // queued cross-wave events) resident at once.
-    let peak = m.sessions_active_peak.load(Ordering::Relaxed);
+    let peak = m.sessions_active.peak();
     assert!(
         peak <= 2 * WAVE_SESSIONS as u64,
         "peak resident sessions {peak} exceeds the wave size bound"
@@ -162,7 +161,7 @@ fn backpressure_blocks_instead_of_dropping() {
         let _ = i;
     }
     let report = engine.finish();
-    assert_eq!(report.metrics.events_processed.load(Ordering::Relaxed), 500);
+    assert_eq!(report.metrics.events_processed.get(), 500);
     assert_eq!(report.outcomes.len(), 1);
     assert_eq!(report.outcomes[0].events, 500);
 }

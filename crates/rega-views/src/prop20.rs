@@ -56,6 +56,7 @@ pub fn project_register_automaton_cached(
             ra.k()
         )));
     }
+    let _span = rega_obs::span!("views.prop20", keep = m, states = ra.num_states());
     let normalized = state_driven_cached(&complete_cached(ra, cache)?, cache).automaton;
 
     // The view: same states, types restricted to the first m registers.
@@ -103,6 +104,12 @@ pub fn project_register_automaton_cached(
             view.add_constraint_dfa(ConstraintKind::NotEqual, RegIdx(i), RegIdx(j), neq)?;
         }
     }
+    rega_obs::event!(
+        "views.prop20_built",
+        view_states = view.ra().num_states(),
+        view_transitions = view.ra().num_transitions(),
+        types_interned = cache.stats().distinct_types
+    );
     Ok(Projection {
         view,
         normalized,

@@ -67,6 +67,7 @@ pub fn project_extended_cached(
             ext.k()
         )));
     }
+    let _span = rega_obs::span!("views.thm13", keep = m, states = ext.ra().num_states());
 
     // 1. Remove global equalities.
     let eliminated = eliminate_global_equalities(ext)?;
@@ -139,6 +140,13 @@ pub fn project_extended_cached(
     for c in inter.constraints() {
         view.add_lifted_constraint(c, |s| norm_map[s.idx()])?;
     }
+    rega_obs::event!(
+        "views.thm13_built",
+        view_states = view.ra().num_states(),
+        view_transitions = view.ra().num_transitions(),
+        intermediate_k = intermediate_k,
+        types_interned = cache.stats().distinct_types
+    );
     Ok(ExtendedProjection {
         view,
         intermediate_k,

@@ -144,6 +144,7 @@ pub fn project_hiding_database_cached(
             )));
         }
     }
+    let _span = rega_obs::span!("views.thm24", keep = m, states = ra.num_states());
 
     // 1. Equality completion + state-driven normal form.
     let completed = complete_for_atoms_cached(ra, &equality_atoms(ra.k()), cache)?;
@@ -250,6 +251,13 @@ pub fn project_hiding_database_cached(
         }
     }
 
+    rega_obs::event!(
+        "views.thm24_built",
+        view_states = enhanced.ext().ra().num_states(),
+        finiteness = enhanced.finiteness_constraints().len(),
+        tuple_inequalities = enhanced.tuple_inequalities().len(),
+        types_interned = cache.stats().distinct_types
+    );
     Ok(DatabaseHidingProjection {
         view: enhanced,
         normalized,

@@ -31,7 +31,6 @@ use rega_stream::{
     SessionStatus, SubmitError,
 };
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -374,7 +373,7 @@ proptest! {
             faulty.submit(ev.clone()).unwrap();
         }
         let report = faulty.finish();
-        let quarantined = report.metrics.events_quarantined.load(Ordering::Relaxed);
+        let quarantined = report.metrics.events_quarantined.get();
         prop_assert_eq!(
             verdicts(&report),
             clean_verdicts,
@@ -408,7 +407,7 @@ fn same_seed_replays_bit_for_bit() {
             engine.submit(ev.clone()).unwrap();
         }
         let report = engine.finish();
-        quarantine_counts.push(report.metrics.events_quarantined.load(Ordering::Relaxed));
+        quarantine_counts.push(report.metrics.events_quarantined.get());
         metric_snapshots.push(serde_json::to_string_pretty(&report.metrics.snapshot()).unwrap());
         outcome_sets.push(report.outcomes);
     }
@@ -472,8 +471,8 @@ fn submit_against_dead_workers_errors_instead_of_hanging() {
     }
     assert!(saw_dead, "submits against a dead worker pool must error");
     let report = engine.finish();
-    assert!(report.metrics.worker_panics.load(Ordering::Relaxed) >= 1);
-    assert!(report.metrics.submit_errors.load(Ordering::Relaxed) >= 1);
+    assert!(report.metrics.worker_panics.get() >= 1);
+    assert!(report.metrics.submit_errors.get() >= 1);
 }
 
 #[test]
@@ -514,7 +513,7 @@ fn full_queue_with_wedged_worker_times_out_instead_of_hanging() {
     }
     assert!(saw_full, "a wedged worker must surface as QueueFull");
     let report = engine.finish();
-    assert!(report.metrics.submit_errors.load(Ordering::Relaxed) >= 1);
+    assert!(report.metrics.submit_errors.get() >= 1);
 }
 
 #[test]
@@ -584,10 +583,10 @@ fn threaded_workers_respawn_with_state_intact() {
         report.outcomes
     );
     assert!(
-        report.metrics.worker_panics.load(Ordering::Relaxed) > 0,
+        report.metrics.worker_panics.get() > 0,
         "the plan should actually have fired"
     );
-    assert_eq!(report.metrics.events_processed.load(Ordering::Relaxed), 420);
+    assert_eq!(report.metrics.events_processed.get(), 420);
 }
 
 // ---------------------------------------------------------------------

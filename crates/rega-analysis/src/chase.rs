@@ -15,7 +15,7 @@
 //!   of another component (they mention none of its values).
 
 use crate::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict, Witness};
-use rega_core::{CoreError, ExtendedAutomaton};
+use rega_core::{Budget, CoreError, ExtendedAutomaton, GovernError};
 use rega_data::{Database, SatCache, Value};
 use std::collections::HashMap;
 
@@ -38,6 +38,24 @@ pub fn universal_witness_database(
     ext: &ExtendedAutomaton,
     opts: &EmptinessOptions,
 ) -> Result<UniversalWitness, CoreError> {
+    universal_witness_database_governed(
+        ext,
+        opts,
+        &SatCache::new(ext.ra().schema().clone()),
+        &Budget::unlimited(),
+    )
+}
+
+/// [`universal_witness_database`] under a [`Budget`] and a caller-supplied
+/// [`SatCache`]: the `SControl` build, the (abortable) lasso enumeration,
+/// and every per-round witness pipeline run governed, with a deadline/token
+/// re-check between rounds.
+pub fn universal_witness_database_governed(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<UniversalWitness, CoreError> {
     // Enumerate realizable lassos one at a time by running the emptiness
     // search repeatedly with the already-used control lassos excluded is
     // complex; instead reuse the internal enumeration: take each candidate
@@ -48,22 +66,35 @@ pub fn universal_witness_database(
     // One `SatCache` serves the `SControl` construction and every
     // per-lasso structure build below.
     let _span = rega_obs::span!("chase.universal_witness");
-    let cache = SatCache::new(ext.ra().schema().clone());
-    let nba = rega_core::symbolic::scontrol_nba_cached(ext.ra(), &cache)?;
-    let lassos = rega_automata::emptiness::enumerate_accepting_lassos(
+    let nba = rega_core::symbolic::scontrol_nba_governed(ext.ra(), cache, budget)?;
+    let mut tripped: Option<GovernError> = None;
+    let lassos = rega_automata::emptiness::enumerate_accepting_lassos_abortable(
         &nba,
         opts.max_lassos,
         opts.max_cycle_len,
+        500_000,
+        &mut || match budget.tick("chase.lasso_search") {
+            Ok(()) => false,
+            Err(e) => {
+                tripped = Some(e);
+                true
+            }
+        },
     );
+    if let Some(e) = tripped {
+        return Err(e.into());
+    }
     let mut combined = Database::new(ext.ra().schema().clone());
     let mut witnesses: Vec<Witness> = Vec::new();
     let mut offset = 0u64;
     for (round, control) in lassos.into_iter().enumerate() {
         let _round = rega_obs::span!("chase.round", round = round);
+        budget.check("chase.round")?;
         // Run the emptiness pipeline on just this lasso by temporarily
         // treating it as the only candidate: reuse the internal helpers via
         // a single-candidate check.
-        let Some(w) = crate::emptiness::witness_for_lasso_cached(ext, &control, opts, &cache)?
+        let Some(w) =
+            crate::emptiness::witness_for_lasso_governed(ext, &control, opts, cache, budget)?
         else {
             continue;
         };

@@ -16,7 +16,7 @@
 
 use rega_automata::Lasso;
 use rega_core::extended::ConstraintKind;
-use rega_core::{CoreError, ExtendedAutomaton, TransId};
+use rega_core::{Budget, CoreError, ExtendedAutomaton, TransId};
 use rega_data::{SatCache, Term};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -117,6 +117,20 @@ impl ClassStructure {
         horizon: usize,
         cache: &SatCache,
     ) -> Result<ClassStructure, CoreError> {
+        Self::build_governed(ext, w, horizon, cache, &Budget::unlimited())
+    }
+
+    /// [`ClassStructure::build_cached`] under a [`Budget`]: the per-position
+    /// equality fill and the quadratic constraint-DFA walks (every start
+    /// position × every later position, per constraint) tick, so a build at
+    /// a hostile horizon is interruptible.
+    pub fn build_governed(
+        ext: &ExtendedAutomaton,
+        w: &Lasso<TransId>,
+        horizon: usize,
+        cache: &SatCache,
+        budget: &Budget,
+    ) -> Result<ClassStructure, CoreError> {
         let _span = rega_obs::span!("classes.build", horizon = horizon);
         let ra = ext.ra();
         let k = ra.k() as usize;
@@ -170,6 +184,7 @@ impl ClassStructure {
 
         // 1. Local equalities.
         for n in 0..horizon {
+            budget.tick("classes.build")?;
             let t = *w.at(n);
             let a = analyses[t.idx()].as_ref().expect("filled above");
             for class in a.classes() {
@@ -190,6 +205,7 @@ impl ClassStructure {
             for n in 0..horizon {
                 let mut s = dfa.init();
                 for m in n..horizon {
+                    budget.tick("classes.build")?;
                     let q = ra.transition(*w.at(m)).from;
                     s = dfa.step(s, &q);
                     if !c.is_alive(s) {
@@ -259,6 +275,7 @@ impl ClassStructure {
             for n in 0..horizon {
                 let mut s = dfa.init();
                 for m in n..horizon {
+                    budget.tick("classes.build")?;
                     let q = ra.transition(*w.at(m)).from;
                     s = dfa.step(s, &q);
                     if !c.is_alive(s) {
@@ -319,6 +336,19 @@ impl ClassStructure {
         opts: ClassOptions,
         cache: &SatCache,
     ) -> Result<ClassStructure, CoreError> {
+        Self::build_stable_governed(ext, w, opts, cache, &Budget::unlimited())
+    }
+
+    /// [`ClassStructure::build_stable_cached`] under a [`Budget`]: every
+    /// rebuild at a grown horizon runs governed, and the deadline/token are
+    /// re-checked between rounds.
+    pub fn build_stable_governed(
+        ext: &ExtendedAutomaton,
+        w: &Lasso<TransId>,
+        opts: ClassOptions,
+        cache: &SatCache,
+        budget: &Budget,
+    ) -> Result<ClassStructure, CoreError> {
         let _span = rega_obs::span!("classes.build_stable");
         let window = w.prefix_len() + 2 * w.period();
         let mut prev_sig: Option<Vec<u8>> = None;
@@ -326,8 +356,9 @@ impl ClassStructure {
         let mut last: Option<ClassStructure> = None;
         let mut periods = opts.initial_periods.max(3);
         while periods <= opts.max_periods {
+            budget.check("classes.build_stable")?;
             let horizon = w.prefix_len() + periods * w.period();
-            let s = ClassStructure::build_cached(ext, w, horizon, cache)?;
+            let s = ClassStructure::build_governed(ext, w, horizon, cache, budget)?;
             let sig = s.window_signature(window);
             if prev_sig.as_ref() == Some(&sig) {
                 stable_for += 1;

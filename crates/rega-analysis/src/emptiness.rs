@@ -28,10 +28,14 @@
 use crate::classes::{ClassOptions, ClassStructure};
 use rega_automata::{emptiness as nba_emptiness, Lasso};
 use rega_core::run::{Config, FiniteRun, LassoRun};
-use rega_core::symbolic::scontrol_nba_cached;
-use rega_core::{CoreError, ExtendedAutomaton, TransId};
+use rega_core::symbolic::scontrol_nba_governed;
+use rega_core::{Budget, CoreError, ExtendedAutomaton, GovernError, TransId};
 use rega_data::{Database, Literal, SatCache, Value};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The default DFS step budget of the lasso search (matches
+/// `enumerate_accepting_lassos`).
+const LASSO_SEARCH_MAX_STEPS: usize = 500_000;
 
 /// Budgets for the emptiness search.
 #[derive(Clone, Copy, Debug)]
@@ -108,22 +112,55 @@ pub fn check_emptiness_cached(
     opts: &EmptinessOptions,
     cache: &SatCache,
 ) -> Result<EmptinessVerdict, CoreError> {
+    check_emptiness_governed(ext, opts, cache, &Budget::unlimited())
+}
+
+/// [`check_emptiness_cached`] under a [`Budget`], governed in all three
+/// phases: the `SControl` NBA wiring, the lasso search (via the abortable
+/// enumeration — a budget trip observed inside the DFS aborts it and the
+/// stashed error is propagated), and every per-lasso witness construction
+/// (stabilized class structures plus the collapse attempts).
+pub fn check_emptiness_governed(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<EmptinessVerdict, CoreError> {
     let _check = rega_obs::span!("emptiness.check", max_lassos = opts.max_lassos);
     let nba = {
         let _phase = rega_obs::span!("emptiness.nba_build");
-        scontrol_nba_cached(ext.ra(), cache)?
+        scontrol_nba_governed(ext.ra(), cache, budget)?
     };
     let lassos = {
         let _phase = rega_obs::span!("emptiness.lasso_search");
-        let lassos =
-            nba_emptiness::enumerate_accepting_lassos(&nba, opts.max_lassos, opts.max_cycle_len);
+        // rega-automata cannot see the budget type, so governance enters
+        // the search as an abort hook: each DFS expansion ticks, and the
+        // first trip stops the enumeration and is re-raised here.
+        let mut tripped: Option<GovernError> = None;
+        let lassos = nba_emptiness::enumerate_accepting_lassos_abortable(
+            &nba,
+            opts.max_lassos,
+            opts.max_cycle_len,
+            LASSO_SEARCH_MAX_STEPS,
+            &mut || match budget.tick("emptiness.lasso_search") {
+                Ok(()) => false,
+                Err(e) => {
+                    tripped = Some(e);
+                    true
+                }
+            },
+        );
+        if let Some(e) = tripped {
+            return Err(e.into());
+        }
         rega_obs::event!("emptiness.lassos", candidates = lassos.len());
         lassos
     };
     let verdict = (|| {
         for (i, control) in lassos.iter().enumerate() {
             let _phase = rega_obs::span!("emptiness.witness", lasso = i);
-            if let Some(w) = witness_for_lasso_cached(ext, control, opts, cache)? {
+            budget.check("emptiness.witness")?;
+            if let Some(w) = witness_for_lasso_governed(ext, control, opts, cache, budget)? {
                 return Ok(EmptinessVerdict::NonEmpty(Box::new(w)));
             }
         }
@@ -165,11 +202,24 @@ pub fn witness_for_lasso_cached(
     opts: &EmptinessOptions,
     cache: &SatCache,
 ) -> Result<Option<Witness>, CoreError> {
+    witness_for_lasso_governed(ext, control, opts, cache, &Budget::unlimited())
+}
+
+/// [`witness_for_lasso_cached`] under a [`Budget`]: the stabilized class
+/// structure builds run governed and each collapse attempt re-checks the
+/// deadline/token.
+pub fn witness_for_lasso_governed(
+    ext: &ExtendedAutomaton,
+    control: &Lasso<TransId>,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<Option<Witness>, CoreError> {
     // The structure horizon must comfortably exceed the largest collapse
     // period: prefix + 2·t·period + slack.
     let mut class_opts = opts.class_opts;
     class_opts.initial_periods = class_opts.initial_periods.max(2 * opts.max_collapse + 3);
-    let s = ClassStructure::build_stable_cached(ext, control, class_opts, cache)?;
+    let s = ClassStructure::build_stable_governed(ext, control, class_opts, cache, budget)?;
     if !s.consistent {
         return Ok(None);
     }
@@ -177,6 +227,7 @@ pub fn witness_for_lasso_cached(
         witness_without_database(ext, control, &s, opts)
     } else {
         for t in 1..=opts.max_collapse {
+            budget.check("emptiness.witness")?;
             if let Some(w) = witness_with_collapse(ext, control, &s, t)? {
                 return Ok(Some(w));
             }

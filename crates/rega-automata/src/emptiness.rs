@@ -146,13 +146,29 @@ pub fn enumerate_accepting_lassos_budgeted<L: Letter>(
     max_cycle_len: usize,
     max_steps: usize,
 ) -> Vec<Lasso<L>> {
+    enumerate_accepting_lassos_abortable(nba, max_lassos, max_cycle_len, max_steps, &mut || false)
+}
+
+/// [`enumerate_accepting_lassos_budgeted`] with an external abort hook,
+/// polled once per accepting pivot and once per DFS expansion. When `abort`
+/// returns `true` the search stops immediately and the lassos found so far
+/// are returned. This is how higher layers (which this crate cannot see)
+/// plug deadline/cancellation governance into the search: the hook calls
+/// their budget's tick and reports whether it tripped.
+pub fn enumerate_accepting_lassos_abortable<L: Letter>(
+    nba: &Nba<L>,
+    max_lassos: usize,
+    max_cycle_len: usize,
+    max_steps: usize,
+    abort: &mut dyn FnMut() -> bool,
+) -> Vec<Lasso<L>> {
     let from_init = bfs(nba, nba.inits());
     let mut out: Vec<Lasso<L>> = Vec::new();
     // Phase 1: the shortest cycle through each reachable accepting state.
     // Cheap (one BFS per accepting state) and diverse, this guarantees
     // dense automata still yield candidates before the budget is consumed.
     for f in 0..nba.num_states() {
-        if out.len() >= max_lassos {
+        if out.len() >= max_lassos || abort() {
             return out;
         }
         if !nba.is_accepting(f) || from_init[f].is_none() {
@@ -169,7 +185,7 @@ pub fn enumerate_accepting_lassos_budgeted<L: Letter>(
     // (complete for small automata, best-effort for large ones).
     let mut steps = 0usize;
     for f in 0..nba.num_states() {
-        if out.len() >= max_lassos || steps >= max_steps {
+        if out.len() >= max_lassos || steps >= max_steps || abort() {
             break;
         }
         if !nba.is_accepting(f) || from_init[f].is_none() {
@@ -183,7 +199,7 @@ pub fn enumerate_accepting_lassos_budgeted<L: Letter>(
         visited0[f] = true;
         stack.push_back((f, Vec::new(), visited0));
         while let Some((s, letters, visited)) = stack.pop_front() {
-            if out.len() >= max_lassos || steps >= max_steps {
+            if out.len() >= max_lassos || steps >= max_steps || abort() {
                 break;
             }
             steps += 1;

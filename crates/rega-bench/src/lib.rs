@@ -1,4 +1,4 @@
-//! Shared helpers for the benchmark harness (experiments E1–E15; see
+//! Shared helpers for the benchmark harness (experiments E1–E17; see
 //! EXPERIMENTS.md for the experiment index and recorded outcomes).
 
 use criterion::Criterion;

@@ -15,10 +15,20 @@
 //! rega trace-report <trace.jsonl>   per-phase wall-time tree of a trace
 //! ```
 //!
-//! Every command additionally accepts the global `--trace-json <path>`
-//! flag, which records a structured JSONL trace (spans + events from the
-//! construction pipeline) to `path` for later inspection with
-//! `rega trace-report`.
+//! Every command additionally accepts the global flags:
+//!
+//! * `--trace-json <path>` — record a structured JSONL trace (spans +
+//!   events from the construction pipeline) to `path` for later
+//!   inspection with `rega trace-report`;
+//! * `--timeout-ms <N>` / `--max-nodes <N>` — bound every exponential
+//!   construction behind the command (completion, `SControl`, emptiness,
+//!   projection, spec compilation) with a wall-clock deadline and/or an
+//!   expansion-count ceiling. A tripped budget prints one structured JSON
+//!   error line on stderr and exits with code 3.
+//!
+//! Exit codes: `0` success / positive verdict, `1` negative verdict (or
+//! monitoring errors), `2` usage or input errors, `3` resource budget
+//! tripped, `4` internal panic, `130` interrupted by ctrl-c.
 //!
 //! With `--seed`, `monitor` runs the deterministic simulation scheduler
 //! (single-threaded, seeded interleavings, simulated clock) instead of the
@@ -31,13 +41,83 @@
 //! `stable=x1 = y1` or `inP=P(x1)`; the skeleton references them by name:
 //! `"G stable"`.
 
-use rega_analysis::emptiness::{check_emptiness, EmptinessOptions, EmptinessVerdict};
+use rega_analysis::emptiness::{check_emptiness_governed, EmptinessOptions, EmptinessVerdict};
 use rega_analysis::lr::{is_lr_bounded, LrOptions};
 use rega_analysis::verify::{verify, VerifyOptions, VerifyResult};
 use rega_core::spec::{parse_spec, to_spec};
-use rega_core::ExtendedAutomaton;
+use rega_core::{Budget, BudgetSpec, CoreError, ExtendedAutomaton, GovernError};
+use rega_data::SatCache;
 use rega_logic::LtlFo;
 use std::process::ExitCode;
+
+/// SIGINT wiring: the handler may only touch `static` atomics, so the
+/// budget's cancellation flag is leaked once at setup and stored as a raw
+/// pointer in a `static`. The handler flips both the process-wide
+/// "interrupted" marker (so exits report 130, not 3) and the budget flag
+/// (so governed loops unwind with [`GovernError::Cancelled`]).
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    static CANCEL_FLAG: AtomicUsize = AtomicUsize::new(0);
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        SEEN.store(true, Ordering::SeqCst);
+        let p = CANCEL_FLAG.load(Ordering::SeqCst);
+        if p != 0 {
+            // Safety: the pointer was produced from a leaked (never freed)
+            // `&'static AtomicBool` in `install`.
+            unsafe { &*(p as *const AtomicBool) }.store(true, Ordering::SeqCst);
+        }
+    }
+
+    pub fn install(flag: &'static AtomicBool) {
+        CANCEL_FLAG.store(flag as *const AtomicBool as usize, Ordering::SeqCst);
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        SEEN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install(_flag: &'static std::sync::atomic::AtomicBool) {}
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
+
+/// Prints the structured budget-trip error line and picks the exit code:
+/// 130 when the trip is a ctrl-c cancellation, 3 for every genuine limit.
+fn govern_trip(g: &GovernError) -> ExitCode {
+    let json = serde_json::json!({
+        "error": "resource-budget",
+        "kind": g.kind(),
+        "phase": g.phase(),
+        "nodes": g.nodes(),
+        "elapsed_ms": g.elapsed_ms(),
+        "message": g.to_string(),
+    });
+    eprintln!(
+        "{}",
+        serde_json::to_string(&json).unwrap_or_else(|_| g.to_string())
+    );
+    if matches!(g, GovernError::Cancelled { .. }) && sigint::interrupted() {
+        ExitCode::from(130)
+    } else {
+        ExitCode::from(3)
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -47,8 +127,12 @@ fn usage() -> ExitCode {
          rega monitor <spec-file> --events <file.jsonl|-> [--shards N] [--workers N] [--view M]\n  \
          {:12}[--seed N] [--submit-timeout-ms N] [--quarantine-cap N] [--metrics-interval-ms N]\n  \
          rega trace-report <trace.jsonl>\n\
-         global flags:\n  --trace-json <path>   record a structured JSONL trace of the run",
-        ""
+         global flags:\n  --trace-json <path>   record a structured JSONL trace of the run\n  \
+         --timeout-ms <N>      wall-clock deadline for the symbolic constructions\n  \
+         --max-nodes <N>       expansion-count ceiling for the symbolic constructions\n\
+         exit codes: 0 ok, 1 negative verdict, 2 usage/input error, 3 budget tripped,\n  \
+         {:10}4 internal panic, 130 interrupted",
+        "", ""
     );
     ExitCode::from(2)
 }
@@ -137,6 +221,31 @@ fn run() -> Result<ExitCode, String> {
                 .map_err(|e| format!("cannot open trace file {path}: {e}"))?,
         );
     }
+    // Global flags: `--timeout-ms <N>` / `--max-nodes <N>` bound every
+    // governed construction behind the command. The budget is started even
+    // without limits so its cancellation token gives ctrl-c a cooperative
+    // exit path through the symbolic constructions.
+    let mut bspec = BudgetSpec::none();
+    if let Some(pos) = args.iter().position(|a| a == "--timeout-ms") {
+        let ms: u64 = args
+            .get(pos + 1)
+            .ok_or_else(|| "--timeout-ms needs a value".to_string())?
+            .parse()
+            .map_err(|_| "--timeout-ms must be a number".to_string())?;
+        args.drain(pos..pos + 2);
+        bspec.deadline_ms = Some(ms);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--max-nodes") {
+        let n: u64 = args
+            .get(pos + 1)
+            .ok_or_else(|| "--max-nodes needs a value".to_string())?
+            .parse()
+            .map_err(|_| "--max-nodes must be a number".to_string())?;
+        args.drain(pos..pos + 2);
+        bspec.max_nodes = Some(n);
+    }
+    let budget = Budget::start(&bspec);
+    sigint::install(budget.cancel_token().leaked_flag());
     let Some(cmd) = args.first() else {
         return Ok(usage());
     };
@@ -146,7 +255,15 @@ fn run() -> Result<ExitCode, String> {
                 return Ok(usage());
             };
             let ext = load(path)?;
-            match check_emptiness(&ext, &EmptinessOptions::default()).map_err(|e| e.to_string())? {
+            let cache = SatCache::new(ext.ra().schema().clone());
+            let verdict =
+                match check_emptiness_governed(&ext, &EmptinessOptions::default(), &cache, &budget)
+                {
+                    Ok(v) => v,
+                    Err(CoreError::Govern(g)) => return Ok(govern_trip(&g)),
+                    Err(e) => return Err(e.to_string()),
+                };
+            match verdict {
                 EmptinessVerdict::NonEmpty(w) => {
                     println!("non-empty");
                     println!("witness control trace: {}", w.control);
@@ -197,7 +314,12 @@ fn run() -> Result<ExitCode, String> {
             };
             let ext = load(path)?;
             let m: u16 = m.parse().map_err(|_| "m must be a number".to_string())?;
-            let proj = rega_views::thm13::project_extended(&ext, m).map_err(|e| e.to_string())?;
+            let cache = SatCache::new(ext.ra().schema().clone());
+            let proj = match rega_views::project_extended_governed(&ext, m, &cache, &budget) {
+                Ok(p) => p,
+                Err(CoreError::Govern(g)) => return Ok(govern_trip(&g)),
+                Err(e) => return Err(e.to_string()),
+            };
             print!("{}", to_spec(&proj.view).map_err(|e| e.to_string())?);
             Ok(ExitCode::SUCCESS)
         }
@@ -238,7 +360,7 @@ fn run() -> Result<ExitCode, String> {
             if args.len() < 2 {
                 return Ok(usage());
             }
-            monitor(&args[1], &args[2..])
+            monitor(&args[1], &args[2..], &budget)
         }
         "trace-report" => {
             let [_, path] = &args[..] else {
@@ -256,7 +378,13 @@ fn run() -> Result<ExitCode, String> {
 
 /// `rega monitor`: stream a JSONL event file (or stdin with `-`) through
 /// the sharded engine and print a JSON report.
-fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
+///
+/// Ctrl-c does not kill the run: the event loop notices the signal between
+/// lines, stops reading, drains every shard through `Engine::finish`, and
+/// prints the summary (marked `"interrupted": true`) before exiting 130 —
+/// so a partial run still yields its verdicts, metrics, and (with
+/// `--trace-json`) a flushed trace file.
+fn monitor(spec_path: &str, flags: &[String], budget: &Budget) -> Result<ExitCode, String> {
     use rega_stream::{CompiledSpec, Engine, EngineConfig, SessionStatus};
     use std::io::BufRead;
 
@@ -325,7 +453,11 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
 
     let ext = load(spec_path)?;
     let db = rega_data::Database::new(ext.ra().schema().clone());
-    let spec = CompiledSpec::compile(ext, db, view_m).map_err(|e| e.to_string())?;
+    let spec = match CompiledSpec::compile_governed(ext, db, view_m, budget) {
+        Ok(s) => s,
+        Err(CoreError::Govern(g)) => return Ok(govern_trip(&g)),
+        Err(e) => return Err(e.to_string()),
+    };
     let registers = spec.registers();
     let spec = std::sync::Arc::new(spec);
     let mut engine = match seed {
@@ -365,17 +497,61 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         })
     });
 
-    let reader: Box<dyn BufRead> = if events_path == "-" {
-        Box::new(std::io::stdin().lock())
+    // Lines arrive through a dedicated reader thread so the event loop can
+    // notice a ctrl-c between lines even while the read itself blocks
+    // (stdin in particular — `signal(2)` handlers restart blocked reads).
+    let file = if events_path == "-" {
+        None
     } else {
-        let file = std::fs::File::open(&events_path)
-            .map_err(|e| format!("cannot open {events_path}: {e}"))?;
-        Box::new(std::io::BufReader::new(file))
+        Some(
+            std::fs::File::open(&events_path)
+                .map_err(|e| format!("cannot open {events_path}: {e}"))?,
+        )
     };
+    let (tx, rx) = std::sync::mpsc::channel::<Result<String, String>>();
+    let _reader = std::thread::spawn(move || {
+        let forward = |reader: &mut dyn BufRead| {
+            let mut buf = String::new();
+            loop {
+                buf.clear();
+                match reader.read_line(&mut buf) {
+                    Ok(0) => return,
+                    Ok(_) => {
+                        let line = buf.trim_end_matches(['\n', '\r']).to_string();
+                        if tx.send(Ok(line)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e.to_string()));
+                        return;
+                    }
+                }
+            }
+        };
+        match file {
+            Some(f) => forward(&mut std::io::BufReader::new(f)),
+            None => forward(&mut std::io::stdin().lock()),
+        }
+    });
+
+    let cancel = budget.cancel_token();
     let mut parse_errors: u64 = 0;
     let mut submit_errors: u64 = 0;
-    'stream: for (no, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("read error in {events_path}: {e}"))?;
+    let mut interrupted = false;
+    let mut no: usize = 0;
+    'stream: loop {
+        if sigint::interrupted() || cancel.is_cancelled() {
+            interrupted = true;
+            break 'stream;
+        }
+        let line = match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(Ok(line)) => line,
+            Ok(Err(e)) => return Err(format!("read error in {events_path}: {e}")),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break 'stream,
+        };
+        no += 1;
         if line.trim().is_empty() {
             continue;
         }
@@ -385,7 +561,7 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
             Ok(event) => {
                 if let Err(e) = engine.submit(event) {
                     submit_errors += 1;
-                    eprintln!("line {}: submit failed: {e}", no + 1);
+                    eprintln!("line {no}: submit failed: {e}");
                     if e == rega_stream::SubmitError::WorkersDead {
                         break 'stream;
                     }
@@ -393,10 +569,11 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
             }
             Err(e) => {
                 parse_errors += 1;
-                eprintln!("line {}: {e}", no + 1);
+                eprintln!("line {no}: {e}");
             }
         }
     }
+    drop(rx); // unblocks the reader thread at its next send
     let report = engine.finish();
     metrics_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     if let Some(handle) = metrics_thread {
@@ -418,6 +595,7 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
     let summary = serde_json::json!({
         "sessions": report.outcomes.len(),
         "violations": serde_json::Value::Array(violations),
+        "interrupted": interrupted,
         "parse_errors": parse_errors,
         "submit_errors": submit_errors,
         "quarantined": metrics
@@ -430,7 +608,9 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
         "{}",
         serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
     );
-    if violated > 0 || parse_errors > 0 || submit_errors > 0 {
+    if interrupted {
+        Ok(ExitCode::from(130))
+    } else if violated > 0 || parse_errors > 0 || submit_errors > 0 {
         Ok(ExitCode::from(1))
     } else {
         Ok(ExitCode::SUCCESS)
@@ -438,11 +618,38 @@ fn monitor(spec_path: &str, flags: &[String]) -> Result<ExitCode, String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(code) => code,
-        Err(msg) => {
+    // Panics escape as one structured JSON line on stderr plus exit code
+    // 4, so supervisors scripting the CLI can tell an internal bug from a
+    // negative verdict (1), bad input (2), or a tripped budget (3).
+    std::panic::set_hook(Box::new(|info| {
+        let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        let location = info
+            .location()
+            .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+            .unwrap_or_else(|| "unknown".to_string());
+        let json = serde_json::json!({
+            "error": "panic",
+            "message": message.clone(),
+            "location": location.clone(),
+        });
+        eprintln!(
+            "{}",
+            serde_json::to_string(&json)
+                .unwrap_or_else(|_| format!("panic at {location}: {message}"))
+        );
+    }));
+    match std::panic::catch_unwind(run) {
+        Ok(Ok(code)) => code,
+        Ok(Err(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)
         }
+        Err(_) => ExitCode::from(4),
     }
 }

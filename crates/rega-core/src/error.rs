@@ -1,6 +1,6 @@
 //! Error type for automaton construction and analysis.
 
-use rega_data::DataError;
+use rega_data::{DataError, GovernError};
 use std::fmt;
 
 /// Errors produced when building or manipulating automata.
@@ -43,6 +43,9 @@ pub enum CoreError {
     /// the message); see the `rega-views` documentation for the supported
     /// fragment.
     UnsupportedProjection(String),
+    /// A governed construction hit its resource budget (deadline, node or
+    /// type ceiling, or cancellation); carries partial-progress diagnostics.
+    Govern(GovernError),
 }
 
 impl fmt::Display for CoreError {
@@ -70,6 +73,7 @@ impl fmt::Display for CoreError {
             CoreError::UnsupportedProjection(msg) => {
                 write!(f, "unsupported projection input: {msg}")
             }
+            CoreError::Govern(g) => write!(f, "{g}"),
         }
     }
 }
@@ -78,6 +82,17 @@ impl std::error::Error for CoreError {}
 
 impl From<DataError> for CoreError {
     fn from(e: DataError) -> Self {
-        CoreError::Data(e)
+        // Budget trips keep their type across the layer boundary, so callers
+        // match one `CoreError::Govern` regardless of which layer tripped.
+        match e {
+            DataError::Govern(g) => CoreError::Govern(g),
+            other => CoreError::Data(other),
+        }
+    }
+}
+
+impl From<GovernError> for CoreError {
+    fn from(e: GovernError) -> Self {
+        CoreError::Govern(e)
     }
 }

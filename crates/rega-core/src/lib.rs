@@ -25,6 +25,7 @@ pub mod enhanced;
 pub mod error;
 pub mod extended;
 pub mod generate;
+pub mod govern;
 pub mod monitor;
 pub mod paper;
 pub mod run;
@@ -38,4 +39,5 @@ pub use automaton::{RegisterAutomaton, StateId, TransId, Transition};
 pub use enhanced::{EnhancedAutomaton, FinitenessConstraint, PositionSelector, TupleInequality};
 pub use error::CoreError;
 pub use extended::{ConstraintKind, ExtendedAutomaton, GlobalConstraint};
+pub use govern::{Budget, BudgetSpec, CancelToken, GovernError};
 pub use run::{Config, FiniteRun, LassoRun};

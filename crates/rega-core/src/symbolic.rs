@@ -15,7 +15,7 @@
 use crate::automaton::{RegisterAutomaton, TransId};
 use crate::error::CoreError;
 use rega_automata::{Lasso, Nba};
-use rega_data::{SatCache, TypeId};
+use rega_data::{Budget, SatCache, TypeId};
 
 /// Builds the Büchi automaton recognizing `SControl(A)` over the alphabet of
 /// transition ids, with a private, throwaway [`SatCache`]. Prefer
@@ -54,6 +54,18 @@ pub fn scontrol_nba_cached(
     ra: &RegisterAutomaton,
     cache: &SatCache,
 ) -> Result<Nba<TransId>, CoreError> {
+    scontrol_nba_governed(ra, cache, &Budget::unlimited())
+}
+
+/// [`scontrol_nba_cached`] under a [`Budget`]: the quadratic wiring loop —
+/// one joint-satisfiability check per ordered transition pair, each over a
+/// `2k`-register encoding — ticks per pair, and the interned-type ceiling
+/// is enforced against `cache`.
+pub fn scontrol_nba_governed(
+    ra: &RegisterAutomaton,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<Nba<TransId>, CoreError> {
     let _span = rega_obs::span!("scontrol.nba_build");
     let alphabet: Vec<TransId> = ra.transition_ids().collect();
     let n = alphabet.len();
@@ -86,6 +98,7 @@ pub fn scontrol_nba_cached(
     let mut edges = 0u64;
     for &u in &alphabet {
         for &t in &alphabet {
+            budget.tick_mem("scontrol.nba_build", || cache.stats().distinct_types)?;
             if ra.transition(u).to == ra.transition(t).from && compatible(u, t) {
                 nba.add_transition(1 + u.idx(), &t, 1 + t.idx());
                 edges += 1;

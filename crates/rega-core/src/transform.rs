@@ -12,7 +12,7 @@ use crate::automaton::{RegisterAutomaton, StateId};
 use crate::error::CoreError;
 use crate::extended::{ExtendedAutomaton, GlobalConstraint};
 use rega_automata::Regex;
-use rega_data::{SatCache, SigmaType};
+use rega_data::{Budget, SatCache, SigmaType};
 
 /// Replaces every transition type by all of its complete extensions.
 /// Register traces are preserved (each original step is refined into the
@@ -28,6 +28,18 @@ pub fn complete_cached(
     ra: &RegisterAutomaton,
     cache: &SatCache,
 ) -> Result<RegisterAutomaton, CoreError> {
+    complete_governed(ra, cache, &Budget::unlimited())
+}
+
+/// [`complete_cached`] under a [`Budget`]: the completion enumeration of
+/// each transition type (the exponential step) and the per-completion
+/// insertion loop both tick, and the interned-type ceiling is enforced
+/// against `cache`.
+pub fn complete_governed(
+    ra: &RegisterAutomaton,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<RegisterAutomaton, CoreError> {
     let _span = rega_obs::span!("transform.complete", states = ra.num_states());
     let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
     for s in ra.states() {
@@ -42,7 +54,8 @@ pub fn complete_cached(
     }
     for t in ra.transition_ids() {
         let tr = ra.transition(t);
-        for completion in cache.completions(&tr.ty)? {
+        for completion in cache.completions_governed(&tr.ty, budget)? {
+            budget.tick_mem("transform.complete", || cache.stats().distinct_types)?;
             out.add_transition_interned(tr.from, (*completion).clone(), tr.to, cache)?;
         }
     }
@@ -77,11 +90,24 @@ pub fn state_driven(ra: &RegisterAutomaton) -> StateDriven {
 /// construction duplicates each type once per successor pair, so the cache
 /// reduces the quadratic re-analysis to one analysis per distinct type.
 pub fn state_driven_cached(ra: &RegisterAutomaton, cache: &SatCache) -> StateDriven {
+    state_driven_governed(ra, cache, &Budget::unlimited())
+        .expect("ungoverned state-driven cannot fail: every type is already validated")
+}
+
+/// [`state_driven_cached`] under a [`Budget`]: the quadratic transition
+/// wiring — each type duplicated once per successor pair — ticks per pair,
+/// so a hostile automaton with a dense successor structure is interruptible.
+pub fn state_driven_governed(
+    ra: &RegisterAutomaton,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<StateDriven, CoreError> {
     let _span = rega_obs::span!("transform.state_driven", states = ra.num_states());
     // Distinct outgoing types per state.
     let mut types_of: Vec<Vec<SigmaType>> = vec![Vec::new(); ra.num_states()];
     for t in ra.transition_ids() {
         let tr = ra.transition(t);
+        budget.tick("transform.state_driven")?;
         if !types_of[tr.from.idx()].contains(&tr.ty) {
             types_of[tr.from.idx()].push(tr.ty.clone());
         }
@@ -113,15 +139,16 @@ pub fn state_driven_cached(ra: &RegisterAutomaton, cache: &SatCache) -> StateDri
             .expect("type recorded");
         let from2 = pair_id[tr.from.idx()][xi];
         for (to_xi, _) in types_of[tr.to.idx()].iter().enumerate() {
+            budget.tick("transform.state_driven")?;
             let to2 = pair_id[tr.to.idx()][to_xi];
             out.add_transition_interned(from2, tr.ty.clone(), to2, cache)
                 .expect("type already validated");
         }
     }
-    StateDriven {
+    Ok(StateDriven {
         automaton: out,
         state_map,
-    }
+    })
 }
 
 /// State-driven form of an *extended* automaton: the underlying automaton is
@@ -137,7 +164,17 @@ pub fn state_driven_extended_cached(
     ext: &ExtendedAutomaton,
     cache: &SatCache,
 ) -> ExtendedAutomaton {
-    let sd = state_driven_cached(ext.ra(), cache);
+    state_driven_extended_governed(ext, cache, &Budget::unlimited())
+        .expect("ungoverned state-driven cannot fail: every type is already validated")
+}
+
+/// [`state_driven_extended_cached`] under a [`Budget`].
+pub fn state_driven_extended_governed(
+    ext: &ExtendedAutomaton,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<ExtendedAutomaton, CoreError> {
+    let sd = state_driven_governed(ext.ra(), cache, budget)?;
     let mut preimages: Vec<Vec<StateId>> = vec![Vec::new(); ext.ra().num_states()];
     for (new_idx, &orig) in sd.state_map.iter().enumerate() {
         preimages[orig.idx()].push(StateId(new_idx as u32));
@@ -149,7 +186,7 @@ pub fn state_driven_extended_cached(
         out.add_lifted_constraint(c, |s| state_map[s.idx()])
             .expect("constraint valid on lifted automaton");
     }
-    out
+    Ok(out)
 }
 
 /// Completion of an extended automaton: constraints carry over unchanged
@@ -163,7 +200,16 @@ pub fn complete_extended_cached(
     ext: &ExtendedAutomaton,
     cache: &SatCache,
 ) -> Result<ExtendedAutomaton, CoreError> {
-    let completed = complete_cached(ext.ra(), cache)?;
+    complete_extended_governed(ext, cache, &Budget::unlimited())
+}
+
+/// [`complete_extended_cached`] under a [`Budget`].
+pub fn complete_extended_governed(
+    ext: &ExtendedAutomaton,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<ExtendedAutomaton, CoreError> {
+    let completed = complete_governed(ext.ra(), cache, budget)?;
     let mut out = ExtendedAutomaton::new(completed);
     for c in ext.constraints() {
         out.add_lifted_constraint(c, |s| s)?;
@@ -191,6 +237,18 @@ pub fn complete_for_atoms_cached(
     atoms: &[rega_data::Literal],
     cache: &SatCache,
 ) -> Result<RegisterAutomaton, CoreError> {
+    complete_for_atoms_governed(ra, atoms, cache, &Budget::unlimited())
+}
+
+/// [`complete_for_atoms_cached`] under a [`Budget`]: the variant set can
+/// double per atom, so the refinement loop ticks per candidate variant and
+/// enforces the interned-type ceiling against `cache`.
+pub fn complete_for_atoms_governed(
+    ra: &RegisterAutomaton,
+    atoms: &[rega_data::Literal],
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<RegisterAutomaton, CoreError> {
     let mut out = RegisterAutomaton::new(ra.k(), ra.schema().clone());
     for s in ra.states() {
         let s2 = out.add_state(ra.state_name(s));
@@ -208,6 +266,9 @@ pub fn complete_for_atoms_cached(
         for atom in atoms {
             let mut next = Vec::new();
             for v in variants {
+                budget.tick_mem("transform.complete_for_atoms", || {
+                    cache.stats().distinct_types
+                })?;
                 let pos = v.with(atom.clone());
                 if cache.is_consistent(&pos) {
                     next.push(pos);
@@ -242,7 +303,17 @@ pub fn complete_extended_for_atoms_cached(
     atoms: &[rega_data::Literal],
     cache: &SatCache,
 ) -> Result<ExtendedAutomaton, CoreError> {
-    let completed = complete_for_atoms_cached(ext.ra(), atoms, cache)?;
+    complete_extended_for_atoms_governed(ext, atoms, cache, &Budget::unlimited())
+}
+
+/// [`complete_extended_for_atoms_cached`] under a [`Budget`].
+pub fn complete_extended_for_atoms_governed(
+    ext: &ExtendedAutomaton,
+    atoms: &[rega_data::Literal],
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<ExtendedAutomaton, CoreError> {
+    let completed = complete_for_atoms_governed(ext.ra(), atoms, cache, budget)?;
     let mut out = ExtendedAutomaton::new(completed);
     for c in ext.constraints() {
         out.add_lifted_constraint(c, |s| s)?;

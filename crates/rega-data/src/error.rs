@@ -1,5 +1,6 @@
 //! Error types for the data substrate.
 
+use crate::govern::GovernError;
 use std::fmt;
 
 /// Errors produced when constructing or validating schemas, databases, types
@@ -34,6 +35,16 @@ pub enum DataError {
     /// A completion or evaluation step needed a fact that the type does not
     /// determine (the type is not complete enough for the operation).
     Undetermined(String),
+    /// A governed operation hit its resource budget (deadline, node or type
+    /// ceiling, or cancellation). Never memoized — the same input may
+    /// succeed under a larger budget.
+    Govern(GovernError),
+}
+
+impl From<GovernError> for DataError {
+    fn from(e: GovernError) -> DataError {
+        DataError::Govern(e)
+    }
 }
 
 impl fmt::Display for DataError {
@@ -57,6 +68,7 @@ impl fmt::Display for DataError {
             DataError::Undetermined(what) => {
                 write!(f, "type does not determine {what}")
             }
+            DataError::Govern(g) => write!(f, "{g}"),
         }
     }
 }

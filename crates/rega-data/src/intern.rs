@@ -18,6 +18,7 @@
 //! streaming specification shared across worker threads.
 
 use crate::error::DataError;
+use crate::govern::Budget;
 use crate::schema::Schema;
 use crate::types::{SigmaType, TypeAnalysis};
 use std::collections::HashMap;
@@ -352,26 +353,57 @@ impl SatCache {
     /// Memoized [`SigmaType::completions`] by handle; each completion is
     /// interned.
     pub fn completions_id(&self, id: TypeId) -> Result<Vec<TypeId>, DataError> {
-        let mut inner = self.inner.lock().unwrap();
-        if let Some(r) = inner.completions.get(&id) {
-            self.hit();
-            return r.clone();
-        }
+        self.completions_id_governed(id, &Budget::unlimited())
+    }
+
+    /// [`SatCache::completions_id`] under a [`Budget`]. The enumeration
+    /// itself is interruptible (see [`SigmaType::completions_governed`]);
+    /// budget trips are returned but **not** memoized — the same type may
+    /// complete fine under a larger budget — and the enumeration runs
+    /// outside the cache lock, so `stats()` (and other threads) stay
+    /// responsive while a governed completion grinds.
+    pub fn completions_id_governed(
+        &self,
+        id: TypeId,
+        budget: &Budget,
+    ) -> Result<Vec<TypeId>, DataError> {
+        let ty = {
+            let inner = self.inner.lock().unwrap();
+            if let Some(r) = inner.completions.get(&id) {
+                self.hit();
+                return r.clone();
+            }
+            Arc::clone(inner.interner.resolve(id))
+        };
         self.miss();
-        let ty = Arc::clone(inner.interner.resolve(id));
-        let r = ty.completions(&self.schema).map(|cs| {
-            cs.into_iter()
-                .map(|c| inner.interner.intern_owned(c))
-                .collect::<Vec<_>>()
-        });
-        inner.completions.insert(id, r.clone());
-        r
+        match ty.completions_governed(&self.schema, budget) {
+            Err(DataError::Govern(g)) => Err(DataError::Govern(g)),
+            r => {
+                let mut inner = self.inner.lock().unwrap();
+                let r = r.map(|cs| {
+                    cs.into_iter()
+                        .map(|c| inner.interner.intern_owned(c))
+                        .collect::<Vec<_>>()
+                });
+                inner.completions.insert(id, r.clone());
+                r
+            }
+        }
     }
 
     /// Memoized [`SigmaType::completions`].
     pub fn completions(&self, ty: &SigmaType) -> Result<Vec<Arc<SigmaType>>, DataError> {
+        self.completions_governed(ty, &Budget::unlimited())
+    }
+
+    /// Memoized [`SigmaType::completions`] under a [`Budget`].
+    pub fn completions_governed(
+        &self,
+        ty: &SigmaType,
+        budget: &Budget,
+    ) -> Result<Vec<Arc<SigmaType>>, DataError> {
         let id = self.intern(ty);
-        let ids = self.completions_id(id)?;
+        let ids = self.completions_id_governed(id, budget)?;
         let inner = self.inner.lock().unwrap();
         Ok(ids
             .into_iter()

@@ -20,6 +20,7 @@
 
 pub mod database;
 pub mod error;
+pub mod govern;
 pub mod intern;
 pub mod literal;
 pub mod qf;
@@ -30,6 +31,7 @@ pub mod value;
 
 pub use database::Database;
 pub use error::DataError;
+pub use govern::{Budget, BudgetSpec, CancelToken, GovernError};
 pub use intern::{CacheStats, RestrictOp, SatCache, TypeId, TypeInterner};
 pub use literal::Literal;
 pub use qf::{Qf, QfTerm};

@@ -16,6 +16,7 @@
 
 use crate::database::Database;
 use crate::error::DataError;
+use crate::govern::Budget;
 use crate::literal::Literal;
 use crate::schema::{ConstSym, RelSym, Schema};
 use crate::term::Term;
@@ -264,10 +265,25 @@ impl SigmaType {
     /// There may be exponentially many; intended for small `k` and schemas,
     /// as in the paper's constructions.
     pub fn completions(&self, schema: &Schema) -> Result<Vec<SigmaType>, DataError> {
+        self.completions_governed(schema, &Budget::unlimited())
+    }
+
+    /// [`SigmaType::completions`] under a [`Budget`]: the worklist — the
+    /// single most explosive loop in the workspace (the number of complete
+    /// extensions grows like the number of set partitions of the term
+    /// universe) — ticks once per popped node, so a deadline, node ceiling
+    /// or cancellation interrupts the enumeration itself, not just its
+    /// callers.
+    pub fn completions_governed(
+        &self,
+        schema: &Schema,
+        budget: &Budget,
+    ) -> Result<Vec<SigmaType>, DataError> {
         self.analyze(schema)?; // must be satisfiable to start
         let mut done = Vec::new();
         let mut work = vec![self.clone()];
         while let Some(t) = work.pop() {
+            budget.tick("sigma.completions")?;
             let a = match t.analyze(schema) {
                 Ok(a) => a,
                 Err(_) => continue,

@@ -32,6 +32,6 @@ pub mod trace;
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use sink::{JsonlSink, MemorySink, TraceSink};
 pub use trace::{
-    install, install_jsonl, install_memory, is_active, FieldValue, ManualClock, ObsClock,
-    SinkGuard, SpanGuard, TraceEvent, TraceEventKind,
+    install, install_jsonl, install_memory, is_active, FieldValue, ManualClock, MonotonicClock,
+    ObsClock, SinkGuard, SpanGuard, TraceEvent, TraceEventKind,
 };

@@ -33,7 +33,9 @@ use crate::fault::FaultInjector;
 use crate::metrics::EngineMetrics;
 use crate::scheduler::Scheduler;
 use crate::session::Session;
-use crate::snapshot::{err, outcome_from_json, outcome_to_json, SnapshotError, SNAPSHOT_VERSION};
+use crate::snapshot::{
+    declared_version, err, outcome_from_json, outcome_to_json, SnapshotError, SNAPSHOT_VERSION,
+};
 use crate::spec::CompiledSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -118,8 +120,16 @@ impl SimScheduler {
         seed: u64,
         snapshot: &Json,
     ) -> Result<SimScheduler, SnapshotError> {
-        if snapshot["version"].as_u64() != Some(SNAPSHOT_VERSION) {
-            return Err(err("unsupported snapshot version"));
+        let found = declared_version(snapshot);
+        // Version 1 differs only in the name of the version field; the
+        // payload decodes unchanged. Anything else (including unversioned
+        // v0 blobs) is rejected with the typed mismatch, not a decode
+        // error further in.
+        if found != SNAPSHOT_VERSION && found != 1 {
+            return Err(SnapshotError::VersionMismatch {
+                found,
+                expected: SNAPSHOT_VERSION,
+            });
         }
         let clock_ns = snapshot["clock_ns"]
             .as_u64()
@@ -291,7 +301,7 @@ impl Scheduler for SimScheduler {
             self.shards.iter().flat_map(|s| s.closed.values()).collect();
         closed.sort_by(|a, b| a.session.cmp(&b.session));
         Some(json!({
-            "version": SNAPSHOT_VERSION,
+            "format_version": SNAPSHOT_VERSION,
             "clock_ns": self.clock.now_ns(),
             "live": Json::Array(
                 live.iter()

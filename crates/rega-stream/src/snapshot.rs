@@ -19,16 +19,39 @@ use rega_views::ObserverSnapshot;
 use serde_json::{json, Value as Json};
 use std::fmt;
 
-/// Version tag written into engine snapshots; restore rejects others.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Format version written into engine snapshots (as `format_version`).
+///
+/// History: version 1 snapshots carried the tag in a field named
+/// `version`; the payload shape is unchanged since, so restore still
+/// accepts them. Snapshots with neither field are treated as version 0
+/// and rejected with [`SnapshotError::VersionMismatch`], as is any
+/// version this build does not know.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot could not be decoded or does not fit the spec.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SnapshotError(pub String);
+pub enum SnapshotError {
+    /// The snapshot declares a format version this build cannot restore.
+    VersionMismatch {
+        /// The version found in the snapshot (0 when unversioned).
+        found: u64,
+        /// The version this build writes.
+        expected: u64,
+    },
+    /// The snapshot is structurally broken or does not fit the spec.
+    Malformed(String),
+}
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad snapshot: {}", self.0)
+        match self {
+            SnapshotError::VersionMismatch { found, expected } => write!(
+                f,
+                "bad snapshot: format version {found} (this build restores \
+                 versions 1..={expected})"
+            ),
+            SnapshotError::Malformed(msg) => write!(f, "bad snapshot: {msg}"),
+        }
     }
 }
 
@@ -36,7 +59,16 @@ impl std::error::Error for SnapshotError {}
 
 /// Shorthand constructor used throughout the decoders.
 pub(crate) fn err(msg: &str) -> SnapshotError {
-    SnapshotError(msg.to_string())
+    SnapshotError::Malformed(msg.to_string())
+}
+
+/// The format version a snapshot declares: `format_version` (current),
+/// the legacy `version` field (format 1), or 0 when neither is present.
+pub(crate) fn declared_version(snapshot: &Json) -> u64 {
+    snapshot["format_version"]
+        .as_u64()
+        .or_else(|| snapshot["version"].as_u64())
+        .unwrap_or(0)
 }
 
 pub(crate) fn status_to_json(status: &SessionStatus) -> Json {

@@ -1,8 +1,8 @@
 //! The compiled, shareable form of a monitored specification.
 
-use rega_core::{CoreError, ExtendedAutomaton, StateId, TransId};
+use rega_core::{Budget, CoreError, ExtendedAutomaton, StateId, TransId};
 use rega_data::{CacheStats, Database, SatCache, Value};
-use rega_views::{project_extended_cached, project_register_automaton_cached};
+use rega_views::{project_extended_governed, project_register_automaton_governed};
 use std::collections::HashMap;
 
 /// Everything derived from the automaton once and shared read-only (behind
@@ -49,6 +49,19 @@ impl CompiledSpec {
         db: Database,
         view_m: Option<u16>,
     ) -> Result<Self, CoreError> {
+        Self::compile_governed(ext, db, view_m, &Budget::unlimited())
+    }
+
+    /// [`CompiledSpec::compile`] under a [`Budget`]: the exponential view
+    /// construction (completion, state-driven wiring, Lemma 21 builds)
+    /// checks the deadline/ceilings at loop granularity and returns a
+    /// [`rega_core::GovernError`]-carrying [`CoreError`] on a trip.
+    pub fn compile_governed(
+        ext: ExtendedAutomaton,
+        db: Database,
+        view_m: Option<u16>,
+        budget: &Budget,
+    ) -> Result<Self, CoreError> {
         let _span = rega_obs::span!(
             "stream.compile_spec",
             states = ext.ra().num_states(),
@@ -77,9 +90,9 @@ impl CompiledSpec {
             None => None,
             Some(m) => {
                 let view = if ext.constraints().is_empty() {
-                    project_register_automaton_cached(ra, m, &type_cache)?.view
+                    project_register_automaton_governed(ra, m, &type_cache, budget)?.view
                 } else {
-                    project_extended_cached(&ext, m, &type_cache)?.view
+                    project_extended_governed(&ext, m, &type_cache, budget)?.view
                 };
                 Some(ViewPart { view, m })
             }

@@ -40,7 +40,12 @@ pub mod thm13;
 pub mod thm24;
 
 pub use observer::{ObserverSnapshot, Verdict, ViewObserver};
-pub use prop20::{project_register_automaton, project_register_automaton_cached, Projection};
+pub use prop20::{
+    project_register_automaton, project_register_automaton_cached,
+    project_register_automaton_governed, Projection,
+};
 pub use prop6::eliminate_global_equalities;
-pub use thm13::{project_extended, project_extended_cached};
-pub use thm24::{project_hiding_database, project_hiding_database_cached};
+pub use thm13::{project_extended, project_extended_cached, project_extended_governed};
+pub use thm24::{
+    project_hiding_database, project_hiding_database_cached, project_hiding_database_governed,
+};

@@ -16,8 +16,8 @@
 
 use crate::lemma21;
 use rega_core::extended::ConstraintKind;
-use rega_core::transform::{complete_cached, state_driven_cached};
-use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton};
+use rega_core::transform::{complete_governed, state_driven_governed};
+use rega_core::{Budget, CoreError, ExtendedAutomaton, RegisterAutomaton};
 use rega_data::{RegIdx, SatCache};
 
 /// A projection view of a register automaton.
@@ -47,6 +47,18 @@ pub fn project_register_automaton_cached(
     m: u16,
     cache: &SatCache,
 ) -> Result<Projection, CoreError> {
+    project_register_automaton_governed(ra, m, cache, &Budget::unlimited())
+}
+
+/// [`project_register_automaton_cached`] under a [`Budget`]: the completion,
+/// state-driven wiring, per-transition restriction and the `m²` Lemma 21
+/// constraint builds all check the deadline/ceilings at loop granularity.
+pub fn project_register_automaton_governed(
+    ra: &RegisterAutomaton,
+    m: u16,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<Projection, CoreError> {
     if !ra.has_no_database() {
         return Err(CoreError::SchemaNotEmpty);
     }
@@ -57,7 +69,8 @@ pub fn project_register_automaton_cached(
         )));
     }
     let _span = rega_obs::span!("views.prop20", keep = m, states = ra.num_states());
-    let normalized = state_driven_cached(&complete_cached(ra, cache)?, cache).automaton;
+    let normalized =
+        state_driven_governed(&complete_governed(ra, cache, budget)?, cache, budget)?.automaton;
 
     // The view: same states, types restricted to the first m registers.
     let mut view = RegisterAutomaton::new(m, ra.schema().clone());
@@ -72,6 +85,7 @@ pub fn project_register_automaton_cached(
         }
     }
     for t in normalized.transition_ids() {
+        budget.tick("views.prop20.restrict")?;
         let tr = normalized.transition(t);
         // Drop successions whose types conflict on *hidden* registers: the
         // restriction would hide the conflict and admit traces the original
@@ -98,6 +112,7 @@ pub fn project_register_automaton_cached(
     let mut view = ExtendedAutomaton::new(view);
     for i in 0..m {
         for j in 0..m {
+            budget.tick("views.prop20.lemma21")?;
             let eq = lemma21::eq_dfa(&normalized, RegIdx(i), RegIdx(j))?;
             view.add_constraint_dfa(ConstraintKind::Equal, RegIdx(i), RegIdx(j), eq)?;
             let neq = lemma21::neq_dfa(&normalized, RegIdx(i), RegIdx(j))?;

@@ -29,8 +29,8 @@
 use crate::lemma21;
 use crate::prop6::eliminate_global_equalities;
 use rega_core::extended::ConstraintKind;
-use rega_core::transform::{complete_cached, state_driven_cached};
-use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
+use rega_core::transform::{complete_governed, state_driven_governed};
+use rega_core::{Budget, CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
 use rega_data::{RegIdx, SatCache};
 
 /// The result of projecting an extended automaton.
@@ -57,6 +57,19 @@ pub fn project_extended_cached(
     ext: &ExtendedAutomaton,
     m: u16,
     cache: &SatCache,
+) -> Result<ExtendedProjection, CoreError> {
+    project_extended_governed(ext, m, cache, &Budget::unlimited())
+}
+
+/// [`project_extended_cached`] under a [`Budget`]: the (exponential)
+/// completion after Proposition 6, the state-driven wiring, the
+/// per-transition restriction loop and the `m²` Lemma 21 builds all check
+/// the deadline/ceilings at loop granularity.
+pub fn project_extended_governed(
+    ext: &ExtendedAutomaton,
+    m: u16,
+    cache: &SatCache,
+    budget: &Budget,
 ) -> Result<ExtendedProjection, CoreError> {
     if !ext.ra().has_no_database() {
         return Err(CoreError::SchemaNotEmpty);
@@ -89,7 +102,11 @@ pub fn project_extended_cached(
 
     // 2. Normalize. (Completion is exponential in the register count; the
     // k added by Proposition 6 is the price of generality here.)
-    let sd = state_driven_cached(&complete_cached(inter.ra(), cache)?, cache);
+    let sd = state_driven_governed(
+        &complete_governed(inter.ra(), cache, budget)?,
+        cache,
+        budget,
+    )?;
     let normalized = sd.automaton;
     let norm_map: Vec<StateId> = sd.state_map; // normalized -> intermediate states
 
@@ -106,6 +123,7 @@ pub fn project_extended_cached(
         }
     }
     for t in normalized.transition_ids() {
+        budget.tick("views.thm13.restrict")?;
         let tr = normalized.transition(t);
         // Drop successions whose types conflict on *hidden* registers: the
         // restriction would hide the conflict and admit traces the original
@@ -129,6 +147,7 @@ pub fn project_extended_cached(
     let mut view = ExtendedAutomaton::new(view);
     for i in 0..m {
         for j in 0..m {
+            budget.tick("views.thm13.lemma21")?;
             let eq = lemma21::eq_dfa(&normalized, RegIdx(i), RegIdx(j))?;
             view.add_constraint_dfa(ConstraintKind::Equal, RegIdx(i), RegIdx(j), eq)?;
             let neq = lemma21::neq_dfa(&normalized, RegIdx(i), RegIdx(j))?;

@@ -51,8 +51,8 @@ use rega_core::enhanced::{
     EnhancedAutomaton, FinitenessConstraint, PositionSelector, TupleInequality,
 };
 use rega_core::extended::ConstraintKind;
-use rega_core::transform::{complete_for_atoms_cached, state_driven_cached};
-use rega_core::{CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
+use rega_core::transform::{complete_for_atoms_governed, state_driven_governed};
+use rega_core::{Budget, CoreError, ExtendedAutomaton, RegisterAutomaton, StateId};
 use rega_data::{Literal, RegIdx, SatCache, Term};
 use std::collections::{BTreeSet, HashMap};
 
@@ -123,6 +123,20 @@ pub fn project_hiding_database_cached(
     opts: &Thm24Options,
     cache: &SatCache,
 ) -> Result<DatabaseHidingProjection, CoreError> {
+    project_hiding_database_governed(ra, m, opts, cache, &Budget::unlimited())
+}
+
+/// [`project_hiding_database_cached`] under a [`Budget`]: the equality
+/// completion, state-driven wiring, saturation/restriction loop, Lemma 21
+/// builds, and the selector worklists (which can blow up combinatorially)
+/// all check the deadline/ceilings at loop granularity.
+pub fn project_hiding_database_governed(
+    ra: &RegisterAutomaton,
+    m: u16,
+    opts: &Thm24Options,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<DatabaseHidingProjection, CoreError> {
     if m > ra.k() {
         return Err(CoreError::UnsupportedProjection(format!(
             "cannot keep {m} registers: the automaton has only {}",
@@ -147,8 +161,8 @@ pub fn project_hiding_database_cached(
     let _span = rega_obs::span!("views.thm24", keep = m, states = ra.num_states());
 
     // 1. Equality completion + state-driven normal form.
-    let completed = complete_for_atoms_cached(ra, &equality_atoms(ra.k()), cache)?;
-    let normalized = state_driven_cached(&completed, cache).automaton;
+    let completed = complete_for_atoms_governed(ra, &equality_atoms(ra.k()), cache, budget)?;
+    let normalized = state_driven_governed(&completed, cache, budget)?.automaton;
 
     // 2. The view skeleton: empty schema, equality literals on visible
     // registers, wiring filtered by joint satisfiability.
@@ -165,6 +179,7 @@ pub fn project_hiding_database_cached(
         }
     }
     for t in normalized.transition_ids() {
+        budget.tick("views.thm24.restrict")?;
         let tr = normalized.transition(t);
         if let Some(next_ty) = normalized.state_type(tr.to) {
             if !cache.jointly_satisfiable(&tr.ty, next_ty) {
@@ -197,6 +212,7 @@ pub fn project_hiding_database_cached(
     let mut ext = ExtendedAutomaton::new(view);
     for i in 0..m {
         for j in 0..m {
+            budget.tick("views.thm24.lemma21")?;
             let eq = lemma21::eq_dfa(&normalized, RegIdx(i), RegIdx(j))?;
             ext.add_constraint_dfa(ConstraintKind::Equal, RegIdx(i), RegIdx(j), eq)?;
             let neq = lemma21::neq_dfa(&normalized, RegIdx(i), RegIdx(j))?;
@@ -209,7 +225,7 @@ pub fn project_hiding_database_cached(
     for i in 0..m {
         enhanced.add_finiteness(FinitenessConstraint {
             register: RegIdx(i),
-            selector: adom_selector(&normalized, RegIdx(i))?,
+            selector: adom_selector(&normalized, RegIdx(i), budget)?,
         });
     }
 
@@ -238,8 +254,9 @@ pub fn project_hiding_database_cached(
                     j_regs.push(RegIdx((rest % m.max(1) as usize) as u16));
                     rest /= m.max(1) as usize;
                 }
+                budget.check("views.thm24.tuple_constraints")?;
                 if let Some(selector) =
-                    tuple_selector(&normalized, rel, &f_slots, &i_regs, &j_regs, opts)?
+                    tuple_selector(&normalized, rel, &f_slots, &i_regs, &j_regs, opts, budget)?
                 {
                     enhanced.add_tuple_inequality(TupleInequality {
                         i_regs: i_regs.clone(),
@@ -272,7 +289,11 @@ pub fn project_hiding_database_cached(
 /// positive literal, plus — per register `r` — past-tainted values arriving
 /// at `h` in register `r` whose flow merges with `(h, i)`'s flow at or
 /// after `h`.
-fn adom_selector(normalized: &RegisterAutomaton, i: RegIdx) -> Result<PositionSelector, CoreError> {
+fn adom_selector(
+    normalized: &RegisterAutomaton,
+    i: RegIdx,
+    budget: &Budget,
+) -> Result<PositionSelector, CoreError> {
     let ctx = FlowContext::new(normalized)?;
     let states: Vec<StateId> = normalized.states().collect();
     let k = normalized.k();
@@ -348,6 +369,7 @@ fn adom_selector(normalized: &RegisterAutomaton, i: RegIdx) -> Result<PositionSe
         nba.set_init(start);
         let mut done = 0;
         while done < work.len() {
+            budget.tick("views.thm24.adom_selector")?;
             let st = work[done].clone();
             let sid = index[&st];
             done += 1;
@@ -410,6 +432,7 @@ fn adom_selector(normalized: &RegisterAutomaton, i: RegIdx) -> Result<PositionSe
             sts.push(init);
             let mut done = 0;
             while done < sts.len() {
+                budget.tick("views.thm24.adom_selector")?;
                 let st = sts[done].clone();
                 done += 1;
                 let mut row = Vec::with_capacity(states.len());
@@ -465,6 +488,7 @@ fn adom_selector(normalized: &RegisterAutomaton, i: RegIdx) -> Result<PositionSe
             nba.set_init(start);
             let mut done = 0;
             while done < work.len() {
+                budget.tick("views.thm24.adom_selector")?;
                 let st = work[done].clone();
                 let sid = index[&st];
                 done += 1;
@@ -538,6 +562,7 @@ fn tuple_selector(
     i_regs: &[RegIdx],
     j_regs: &[RegIdx],
     opts: &Thm24Options,
+    budget: &Budget,
 ) -> Result<Option<Nba<(StateId, u32)>>, CoreError> {
     let ctx = FlowContext::new(normalized)?;
     let states: Vec<StateId> = normalized.states().collect();
@@ -649,6 +674,7 @@ fn tuple_selector(
 
     let mut done = 0usize;
     while done < work.len() {
+        budget.tick("views.thm24.tuple_selector")?;
         if work.len() > opts.max_selector_states {
             return Err(CoreError::BudgetExceeded(format!(
                 "tuple selector exceeded {} states",
@@ -1021,7 +1047,7 @@ mod tests {
         let ra = paper::example23();
         let completed = complete_for_atoms(&ra, &equality_atoms(ra.k())).unwrap();
         let normalized = state_driven(&completed).automaton;
-        let selector = adom_selector(&normalized, RegIdx(0)).unwrap();
+        let selector = adom_selector(&normalized, RegIdx(0), &Budget::unlimited()).unwrap();
 
         let ext = ExtendedAutomaton::new(normalized.clone());
         let nba = rega_core::symbolic::scontrol_nba(&normalized).unwrap();

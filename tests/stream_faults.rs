@@ -28,7 +28,7 @@ use rega_core::ExtendedAutomaton;
 use rega_data::{Database, Schema, Value};
 use rega_stream::{
     parse_event, parse_event_checked, CompiledSpec, Engine, EngineConfig, Event, FaultPlan,
-    SessionStatus, SubmitError,
+    SessionStatus, SnapshotError, SubmitError,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -636,6 +636,84 @@ fn view_observer_state_survives_crash_and_restore() {
         degraded(&want),
         "view verdicts and degradation flags must survive a crash/restore"
     );
+}
+
+// ---------------------------------------------------------------------
+// Snapshot format versioning: current snapshots carry `format_version`;
+// legacy v1 snapshots (field named `version`) still restore; unversioned
+// or future blobs are rejected with the typed mismatch.
+// ---------------------------------------------------------------------
+
+/// A small deterministic run whose checkpoint the versioning tests mutate.
+fn checkpoint_fixture() -> (Arc<CompiledSpec>, serde_json::Value) {
+    let spec = compile(None);
+    let mut engine = Engine::start_sim(Arc::clone(&spec), EngineConfig::default(), 3);
+    for line in [
+        r#"{"session": "s1", "state": "p", "regs": [1, 1]}"#,
+        r#"{"session": "s1", "state": "p", "regs": [1, 2]}"#,
+        r#"{"session": "s2", "state": "p", "regs": [5, 5]}"#,
+    ] {
+        engine.submit(parse_event(line).unwrap()).unwrap();
+    }
+    let snap = engine.checkpoint().unwrap();
+    engine.finish();
+    (spec, snap)
+}
+
+#[test]
+fn checkpoint_declares_current_format_version() {
+    let (_, snap) = checkpoint_fixture();
+    assert_eq!(snap["format_version"].as_u64(), Some(2));
+    assert!(snap["version"].is_null(), "legacy field must be gone");
+}
+
+#[test]
+fn legacy_v1_snapshot_still_restores() {
+    let (spec, mut snap) = checkpoint_fixture();
+    // Rewrite into the v1 shape: the version lived in a field named
+    // `version`; the payload is otherwise identical.
+    let serde_json::Value::Object(obj) = &mut snap else {
+        panic!("checkpoint must be a JSON object");
+    };
+    obj.remove("format_version");
+    obj.insert("version".into(), serde_json::json!(1u64));
+    let restored = Engine::restore_sim(Arc::clone(&spec), EngineConfig::default(), 3, &snap);
+    let report = restored.unwrap().finish();
+    assert_eq!(report.outcomes.len(), 2, "both live sessions must survive");
+}
+
+#[test]
+fn unversioned_v0_snapshot_rejected_with_typed_mismatch() {
+    let (spec, mut snap) = checkpoint_fixture();
+    let serde_json::Value::Object(obj) = &mut snap else {
+        panic!("checkpoint must be a JSON object");
+    };
+    obj.remove("format_version");
+    let got = Engine::restore_sim(Arc::clone(&spec), EngineConfig::default(), 3, &snap);
+    assert_eq!(
+        got.err(),
+        Some(SnapshotError::VersionMismatch {
+            found: 0,
+            expected: 2
+        })
+    );
+}
+
+#[test]
+fn future_format_version_rejected_with_typed_mismatch() {
+    let (spec, mut snap) = checkpoint_fixture();
+    let serde_json::Value::Object(obj) = &mut snap else {
+        panic!("checkpoint must be a JSON object");
+    };
+    obj.insert("format_version".into(), serde_json::json!(99u64));
+    let got = Engine::restore_sim(Arc::clone(&spec), EngineConfig::default(), 3, &snap);
+    match got.err() {
+        Some(SnapshotError::VersionMismatch {
+            found: 99,
+            expected: 2,
+        }) => {}
+        other => panic!("expected a version-99 mismatch, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------

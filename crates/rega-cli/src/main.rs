@@ -12,6 +12,11 @@
 //!                     [--view M] [--seed N] [--submit-timeout-ms N]
 //!                     [--quarantine-cap N] [--metrics-interval-ms N]
 //!                                   stream multi-session monitoring
+//! rega serve [--listen ADDR] [--max-tenants N] [--max-conns N]
+//!            [--max-specs N] [--max-sessions N] [--quarantine-cap N]
+//!            [--shards N] [--workers N] [--queue-capacity N]
+//!            [--submit-timeout-ms N] [--metrics-interval-ms N]
+//!                                   multi-tenant TCP monitoring service
 //! rega trace-report <trace.jsonl>   per-phase wall-time tree of a trace
 //! ```
 //!
@@ -28,7 +33,10 @@
 //!
 //! Exit codes: `0` success / positive verdict, `1` negative verdict (or
 //! monitoring errors), `2` usage or input errors, `3` resource budget
-//! tripped, `4` internal panic, `130` interrupted by ctrl-c.
+//! tripped, `4` internal panic, `130` interrupted by ctrl-c. A
+//! SIGTERM/SIGINT against `rega serve` is *not* an interruption: the
+//! server drains every tenant engine, prints the final report, and exits
+//! `0` — the clean-shutdown path a supervisor expects.
 //!
 //! With `--seed`, `monitor` runs the deterministic simulation scheduler
 //! (single-threaded, seeded interleavings, simulated clock) instead of the
@@ -50,52 +58,13 @@ use rega_data::SatCache;
 use rega_logic::LtlFo;
 use std::process::ExitCode;
 
-/// SIGINT wiring: the handler may only touch `static` atomics, so the
-/// budget's cancellation flag is leaked once at setup and stored as a raw
-/// pointer in a `static`. The handler flips both the process-wide
-/// "interrupted" marker (so exits report 130, not 3) and the budget flag
+/// Signal wiring lives in `rega_serve::signal` now — one handler covering
+/// both SIGINT (a terminal's ctrl-c) and SIGTERM (a supervisor's stop),
+/// shared between the batch commands here and the long-running `rega
+/// serve`. The handler flips both the process-wide "interrupted" marker
+/// (so exits report 130, not 3) and the budget's leaked cancellation flag
 /// (so governed loops unwind with [`GovernError::Cancelled`]).
-#[cfg(unix)]
-mod sigint {
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    static CANCEL_FLAG: AtomicUsize = AtomicUsize::new(0);
-    static SEEN: AtomicBool = AtomicBool::new(false);
-
-    extern "C" fn on_sigint(_signum: i32) {
-        SEEN.store(true, Ordering::SeqCst);
-        let p = CANCEL_FLAG.load(Ordering::SeqCst);
-        if p != 0 {
-            // Safety: the pointer was produced from a leaked (never freed)
-            // `&'static AtomicBool` in `install`.
-            unsafe { &*(p as *const AtomicBool) }.store(true, Ordering::SeqCst);
-        }
-    }
-
-    pub fn install(flag: &'static AtomicBool) {
-        CANCEL_FLAG.store(flag as *const AtomicBool as usize, Ordering::SeqCst);
-        unsafe {
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
-        }
-    }
-
-    pub fn interrupted() -> bool {
-        SEEN.load(Ordering::SeqCst)
-    }
-}
-
-#[cfg(not(unix))]
-mod sigint {
-    pub fn install(_flag: &'static std::sync::atomic::AtomicBool) {}
-
-    pub fn interrupted() -> bool {
-        false
-    }
-}
+use rega_serve::signal as sigint;
 
 /// Prints the structured budget-trip error line and picks the exit code:
 /// 130 when the trip is a ctrl-c cancellation, 3 for every genuine limit.
@@ -112,7 +81,7 @@ fn govern_trip(g: &GovernError) -> ExitCode {
         "{}",
         serde_json::to_string(&json).unwrap_or_else(|_| g.to_string())
     );
-    if matches!(g, GovernError::Cancelled { .. }) && sigint::interrupted() {
+    if matches!(g, GovernError::Cancelled { .. }) && sigint::triggered() {
         ExitCode::from(130)
     } else {
         ExitCode::from(3)
@@ -126,13 +95,17 @@ fn usage() -> ExitCode {
          rega echo <spec-file>\n  \
          rega monitor <spec-file> --events <file.jsonl|-> [--shards N] [--workers N] [--view M]\n  \
          {:12}[--seed N] [--submit-timeout-ms N] [--quarantine-cap N] [--metrics-interval-ms N]\n  \
+         rega serve [--listen ADDR] [--max-tenants N] [--max-conns N] [--max-specs N]\n  \
+         {:10}[--max-sessions N] [--quarantine-cap N] [--shards N] [--workers N]\n  \
+         {:10}[--queue-capacity N] [--submit-timeout-ms N] [--metrics-interval-ms N]\n  \
          rega trace-report <trace.jsonl>\n\
          global flags:\n  --trace-json <path>   record a structured JSONL trace of the run\n  \
          --timeout-ms <N>      wall-clock deadline for the symbolic constructions\n  \
          --max-nodes <N>       expansion-count ceiling for the symbolic constructions\n\
          exit codes: 0 ok, 1 negative verdict, 2 usage/input error, 3 budget tripped,\n  \
-         {:10}4 internal panic, 130 interrupted",
-        "", ""
+         {:10}4 internal panic, 130 interrupted (`rega serve` drains and exits 0 on\n  \
+         {:10}SIGTERM/SIGINT)",
+        "", "", "", "", ""
     );
     ExitCode::from(2)
 }
@@ -362,6 +335,7 @@ fn run() -> Result<ExitCode, String> {
             }
             monitor(&args[1], &args[2..], &budget)
         }
+        "serve" => serve(&args[1..], &bspec),
         "trace-report" => {
             let [_, path] = &args[..] else {
                 return Ok(usage());
@@ -374,6 +348,78 @@ fn run() -> Result<ExitCode, String> {
         }
         _ => Ok(usage()),
     }
+}
+
+/// `rega serve`: the long-running multi-tenant monitoring service (see
+/// the `rega-serve` crate). Listens for JSONL / binary-framed commands
+/// over TCP, admits tenants against quotas, and on SIGTERM or SIGINT
+/// drains every tenant engine and prints the final report — a
+/// signal-initiated drain is a *clean* shutdown and exits 0.
+fn serve(flags: &[String], server_budget: &BudgetSpec) -> Result<ExitCode, String> {
+    use rega_serve::{Server, ServerConfig};
+
+    let mut config = ServerConfig {
+        server_budget: server_budget.clone(),
+        ..ServerConfig::default()
+    };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_num = |name: &str, v: &str| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{name} must be a number"))
+        };
+        match flag.as_str() {
+            "--listen" => config.listen = value("--listen")?.clone(),
+            "--max-tenants" => {
+                config.max_tenants = parse_num("--max-tenants", value("--max-tenants")?)?;
+            }
+            "--max-conns" => {
+                config.max_conns = parse_num("--max-conns", value("--max-conns")?)?;
+            }
+            "--max-specs" => {
+                config.quotas.max_specs = parse_num("--max-specs", value("--max-specs")?)?;
+            }
+            "--max-sessions" => {
+                config.quotas.max_sessions = parse_num("--max-sessions", value("--max-sessions")?)?;
+            }
+            "--quarantine-cap" => {
+                config.quotas.quarantine_cap =
+                    parse_num("--quarantine-cap", value("--quarantine-cap")?)? as u64;
+            }
+            "--shards" => config.engine.shards = parse_num("--shards", value("--shards")?)?,
+            "--workers" => config.engine.workers = parse_num("--workers", value("--workers")?)?,
+            "--queue-capacity" => {
+                config.engine.queue_capacity =
+                    parse_num("--queue-capacity", value("--queue-capacity")?)?;
+            }
+            "--submit-timeout-ms" => {
+                let ms = parse_num("--submit-timeout-ms", value("--submit-timeout-ms")?)?;
+                config.engine.submit_timeout = Some(std::time::Duration::from_millis(ms as u64));
+            }
+            "--metrics-interval-ms" => {
+                let ms = parse_num("--metrics-interval-ms", value("--metrics-interval-ms")?)?;
+                if ms == 0 {
+                    return Err("--metrics-interval-ms must be positive".to_string());
+                }
+                config.metrics_interval = Some(std::time::Duration::from_millis(ms as u64));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("rega serve: listening on {addr}");
+    let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // Blocks until SIGTERM/SIGINT (the handler installed in `run` flips
+    // the process-wide marker the accept loop polls), then drains.
+    let report = server.run(shutdown);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `rega monitor`: stream a JSONL event file (or stdin with `-`) through
@@ -508,19 +554,24 @@ fn monitor(spec_path: &str, flags: &[String], budget: &Budget) -> Result<ExitCod
                 .map_err(|e| format!("cannot open {events_path}: {e}"))?,
         )
     };
-    let (tx, rx) = std::sync::mpsc::channel::<Result<String, String>>();
+    // Each line travels with the byte offset it started at, so parse
+    // errors can report an exact stream position (`line N (byte M): …`) —
+    // an operator can `dd skip=M` straight to the malformed record.
+    let (tx, rx) = std::sync::mpsc::channel::<Result<(String, u64), String>>();
     let _reader = std::thread::spawn(move || {
         let forward = |reader: &mut dyn BufRead| {
             let mut buf = String::new();
+            let mut offset: u64 = 0;
             loop {
                 buf.clear();
                 match reader.read_line(&mut buf) {
                     Ok(0) => return,
-                    Ok(_) => {
+                    Ok(n) => {
                         let line = buf.trim_end_matches(['\n', '\r']).to_string();
-                        if tx.send(Ok(line)).is_err() {
+                        if tx.send(Ok((line, offset))).is_err() {
                             return;
                         }
+                        offset += n as u64;
                     }
                     Err(e) => {
                         let _ = tx.send(Err(e.to_string()));
@@ -541,11 +592,11 @@ fn monitor(spec_path: &str, flags: &[String], budget: &Budget) -> Result<ExitCod
     let mut interrupted = false;
     let mut no: usize = 0;
     'stream: loop {
-        if sigint::interrupted() || cancel.is_cancelled() {
+        if sigint::triggered() || cancel.is_cancelled() {
             interrupted = true;
             break 'stream;
         }
-        let line = match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+        let (line, offset) = match rx.recv_timeout(std::time::Duration::from_millis(50)) {
             Ok(Ok(line)) => line,
             Ok(Err(e)) => return Err(format!("read error in {events_path}: {e}")),
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
@@ -556,8 +607,9 @@ fn monitor(spec_path: &str, flags: &[String], budget: &Budget) -> Result<ExitCod
             continue;
         }
         // Arity is validated at the edge: a step event with the wrong
-        // tuple width never reaches a shard queue.
-        match rega_stream::parse_event_checked(&line, registers) {
+        // tuple width never reaches a shard queue. Parse errors carry the
+        // line number and byte offset of the offending record.
+        match rega_stream::parse_event_located(&line, registers, no as u64, offset) {
             Ok(event) => {
                 if let Err(e) = engine.submit(event) {
                     submit_errors += 1;
@@ -569,7 +621,7 @@ fn monitor(spec_path: &str, flags: &[String], budget: &Budget) -> Result<ExitCod
             }
             Err(e) => {
                 parse_errors += 1;
-                eprintln!("line {no}: {e}");
+                eprintln!("{e}");
             }
         }
     }

@@ -59,6 +59,26 @@ impl BudgetSpec {
     pub fn none() -> BudgetSpec {
         BudgetSpec::default()
     }
+
+    /// The pointwise-tighter combination of two specs: for each limit the
+    /// smaller of the two when both are set, the set one when only one is.
+    /// This is the admission-control composition — a server-wide ceiling
+    /// tightened by a per-tenant quota yields the budget a tenant's
+    /// compilation actually runs under, and no tenant can *loosen* a
+    /// global limit by declaring a bigger one.
+    pub fn tightened(&self, other: &BudgetSpec) -> BudgetSpec {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (one, None) | (None, one) => one,
+            }
+        }
+        BudgetSpec {
+            deadline_ms: tighter(self.deadline_ms, other.deadline_ms),
+            max_nodes: tighter(self.max_nodes, other.max_nodes),
+            max_types: tighter(self.max_types, other.max_types),
+        }
+    }
 }
 
 /// A cloneable cancellation flag. All clones share one `AtomicBool`;
@@ -580,6 +600,33 @@ mod tests {
             .unwrap_err();
         assert_eq!(evaluated, 1);
         assert_eq!(err.kind(), "mem");
+    }
+
+    #[test]
+    fn tightened_takes_the_stricter_of_each_limit() {
+        let server = BudgetSpec {
+            deadline_ms: Some(1_000),
+            max_nodes: None,
+            max_types: Some(10_000),
+        };
+        let tenant = BudgetSpec {
+            deadline_ms: Some(250),
+            max_nodes: Some(50_000),
+            max_types: Some(1_000_000), // cannot loosen the server's ceiling
+        };
+        let got = server.tightened(&tenant);
+        assert_eq!(
+            got,
+            BudgetSpec {
+                deadline_ms: Some(250),
+                max_nodes: Some(50_000),
+                max_types: Some(10_000),
+            }
+        );
+        // Commutative, and `none` is the identity.
+        assert_eq!(got, tenant.tightened(&server));
+        assert_eq!(server.tightened(&BudgetSpec::none()), server);
+        assert_eq!(BudgetSpec::none().tightened(&server), server);
     }
 
     #[test]

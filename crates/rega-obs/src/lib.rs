@@ -29,7 +29,7 @@ pub mod report;
 pub mod sink;
 pub mod trace;
 
-pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use metrics::{global, sanitize_segment, Counter, Gauge, Histogram, Registry, ScopedRegistry};
 pub use sink::{JsonlSink, MemorySink, TraceSink};
 pub use trace::{
     install, install_jsonl, install_memory, is_active, FieldValue, ManualClock, MonotonicClock,

@@ -284,6 +284,80 @@ impl Registry {
     }
 }
 
+/// Sanitizes one metric-name segment: ASCII letters, digits, `_` and `-`
+/// pass through; everything else (most importantly `.`, the namespace
+/// separator) maps to `_`. Externally supplied identifiers — tenant names
+/// arriving over the network, file-derived labels — go through this before
+/// they become part of a metric name, so an adversarial name like
+/// `x.faults.quarantined` cannot forge entries in another subsystem's
+/// namespace. An empty segment becomes `_` so joined names never collapse.
+pub fn sanitize_segment(segment: &str) -> String {
+    if segment.is_empty() {
+        return "_".to_string();
+    }
+    segment
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '-' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// A prefix view onto a shared [`Registry`]: every metric created through
+/// it is registered under `<prefix>.<name>`, with each prefix segment
+/// passed through [`sanitize_segment`]. This is how per-tenant metrics
+/// stay in one registry (one snapshot covers everything) without tenants
+/// being able to collide with — or forge — each other's names.
+#[derive(Clone, Debug)]
+pub struct ScopedRegistry {
+    registry: Arc<Registry>,
+    prefix: String,
+}
+
+impl ScopedRegistry {
+    /// A scope under `registry` made of the sanitized `segments` joined
+    /// with `.` (e.g. `["serve", "tenant", "acme-corp"]` →
+    /// `serve.tenant.acme-corp`).
+    pub fn new(registry: Arc<Registry>, segments: &[&str]) -> Self {
+        let prefix = segments
+            .iter()
+            .map(|s| sanitize_segment(s))
+            .collect::<Vec<_>>()
+            .join(".");
+        ScopedRegistry { registry, prefix }
+    }
+
+    /// The sanitized, joined prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The underlying shared registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn scoped_name(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// The counter `<prefix>.<name>` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&self.scoped_name(name))
+    }
+
+    /// The gauge `<prefix>.<name>` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(&self.scoped_name(name))
+    }
+
+    /// The histogram `<prefix>.<name>` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(&self.scoped_name(name))
+    }
+}
+
 /// The process-wide registry. Library code that is not handed an explicit
 /// registry (e.g. the σ-type cache aggregates) registers here.
 pub fn global() -> &'static Registry {
@@ -420,6 +494,37 @@ mod tests {
         let r = Registry::new();
         r.counter("dual");
         r.gauge("dual");
+    }
+
+    #[test]
+    fn scoped_registry_prefixes_and_sanitizes() {
+        let r = Arc::new(Registry::new());
+        let tenant = ScopedRegistry::new(Arc::clone(&r), &["serve", "tenant", "acme-corp"]);
+        assert_eq!(tenant.prefix(), "serve.tenant.acme-corp");
+        tenant.counter("events.ok").add(3);
+        tenant.gauge("sessions").set(2);
+        let snap = r.snapshot();
+        assert_eq!(snap["serve.tenant.acme-corp.events.ok"].as_u64(), Some(3));
+        assert_eq!(
+            snap["serve.tenant.acme-corp.sessions"]["value"].as_u64(),
+            Some(2)
+        );
+
+        // A hostile tenant name cannot dot its way into another namespace.
+        let evil = ScopedRegistry::new(Arc::clone(&r), &["serve", "tenant", "x.faults"]);
+        assert_eq!(evil.prefix(), "serve.tenant.x_faults");
+        evil.counter("quarantined").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap["serve.tenant.x_faults.quarantined"].as_u64(), Some(1));
+        assert!(snap
+            .as_object()
+            .unwrap()
+            .get("serve.tenant.x.faults.quarantined")
+            .is_none());
+
+        assert_eq!(sanitize_segment(""), "_");
+        assert_eq!(sanitize_segment("ok_name-7"), "ok_name-7");
+        assert_eq!(sanitize_segment("a b/c\u{e9}"), "a_b_c_");
     }
 
     #[test]

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! `rega-serve` — the network-facing, multi-tenant view-monitoring
+//! service.
+//!
+//! The batch `rega monitor` CLI reads one JSONL file against one
+//! specification and exits. A deployed monitoring system looks different:
+//! it runs for weeks, serves many *tenants* (each with their own
+//! specifications and sessions), admits or rejects work against per-tenant
+//! quotas, and must shut down without losing in-flight verdicts. This
+//! crate promotes the `rega-stream` engine to exactly that — a std-only,
+//! long-running TCP server:
+//!
+//! * [`proto`] — the wire protocol. Two framings share one socket and may
+//!   be mixed per message: newline-delimited JSON (human/debug: `nc` into
+//!   the server and type) and a length-prefixed binary framing (hot path:
+//!   no newline scanning, payloads may contain newlines). Responses mirror
+//!   the request's framing. The command set is small and explicit:
+//!   `hello`, `load-spec`, `open-session`, `event`, `event-batch`,
+//!   `snapshot`, `close`, `stats`, `health`.
+//! * [`tenant`] — the tenant layer: a registry mapping tenant →
+//!   compiled specs → sessions, with typed [`AdmissionError`]s for every
+//!   quota (tenant count, specs per tenant, sessions per tenant), a
+//!   per-tenant [`BudgetSpec`](rega_data::BudgetSpec) governing spec
+//!   compilation (tightened against the server-wide ceiling, so no tenant
+//!   can loosen a global limit), per-tenant quarantine caps, and
+//!   per-tenant counters registered under `serve.tenant.<name>.*` in a
+//!   shared [`rega_obs::Registry`].
+//! * [`server`] — the TCP listener and connection threads, with a
+//!   connection cap, periodic JSONL metrics snapshots, and a graceful
+//!   drain: on SIGTERM/SIGINT the server stops accepting, lets in-flight
+//!   requests finish, drains every tenant engine through the existing
+//!   `Engine::finish` path (all queued events are processed), and returns
+//!   a final report carrying every session's verdict.
+//! * [`signal`] — the shared SIGINT + SIGTERM handler, extracted from the
+//!   CLI so the batch commands and the server use one drain path.
+//!
+//! Everything is `std` (`TcpListener`, `std::thread`); the crate
+//! introduces no new dependencies.
+
+pub mod proto;
+pub mod server;
+pub mod signal;
+pub mod tenant;
+
+pub use proto::{read_frame, write_frame, Command, FrameError, Framing, MAX_FRAME_LEN};
+pub use server::{Server, ServerConfig};
+pub use tenant::{AdmissionError, IngestError, TenantQuotas, TenantRegistry};

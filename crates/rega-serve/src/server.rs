@@ -1,0 +1,350 @@
+//! The TCP server: accept loop, connection threads, graceful drain.
+//!
+//! One thread per connection (bounded by [`ServerConfig::max_conns`]),
+//! each speaking both wire framings (see [`crate::proto`]). The accept
+//! loop polls a shutdown flag (and the process-wide
+//! [`signal::triggered`](crate::signal::triggered) marker) between
+//! accepts; when either fires the server:
+//!
+//! 1. stops accepting (the listener keeps refusing by simply not being
+//!    polled; over-cap and post-drain connects get a typed `draining`
+//!    rejection),
+//! 2. flips the tenant registry into draining mode — admission requests
+//!    are rejected with [`AdmissionError::Draining`](crate::tenant::AdmissionError)
+//!    but events for already-open sessions still flow,
+//! 3. joins every connection thread (each notices the flag within its
+//!    ~100 ms read-poll interval and finishes its in-flight request),
+//! 4. drains every tenant engine through the engine's `finish` path (all
+//!    queued events are processed, every session's verdict is final), and
+//! 5. returns the combined final report; the CLI prints it and exits 0 —
+//!    a signal-initiated drain is a *clean* shutdown, not an error.
+
+use crate::proto::{self, parse_request, read_frame, write_frame, Command, FrameError, Framing};
+use crate::tenant::{TenantQuotas, TenantRegistry};
+use rega_data::BudgetSpec;
+use rega_obs::Registry;
+use rega_stream::EngineConfig;
+use serde_json::{json, Value as Json};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything `rega serve` is configured with.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to listen on, e.g. `127.0.0.1:7878` (port `0` picks a free
+    /// one — tests read it back from [`Server::local_addr`]).
+    pub listen: String,
+    /// Tenant namespaces admitted at once.
+    pub max_tenants: usize,
+    /// Concurrent connections; the cap + 1-st connect is answered with a
+    /// typed `conn-limit` error and closed.
+    pub max_conns: usize,
+    /// Default quotas for every admitted tenant.
+    pub quotas: TenantQuotas,
+    /// Server-wide compile ceiling; every tenant budget is tightened
+    /// against it (a tenant can lower but never raise these limits).
+    pub server_budget: BudgetSpec,
+    /// Engine sizing template for every spec's engine.
+    pub engine: EngineConfig,
+    /// Emit one JSONL metrics-registry snapshot per interval on stderr.
+    pub metrics_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_tenants: 16,
+            max_conns: 64,
+            quotas: TenantQuotas::default(),
+            server_budget: BudgetSpec::none(),
+            engine: EngineConfig::default(),
+            metrics_interval: None,
+        }
+    }
+}
+
+/// How often idle loops (accept, connection read) re-check the shutdown
+/// flag. Bounds how long a drain can lag behind the signal.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Read timeout while a frame is actually in flight: a slow-writing client
+/// gets this long between bytes before the frame is abandoned.
+const IN_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The listening server. [`Server::bind`] then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    tenants: Arc<TenantRegistry>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener and builds the tenant registry (with its own
+    /// fresh metrics [`Registry`]).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        Server::bind_with_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// [`Server::bind`] against a caller-supplied metrics registry (so a
+    /// host process can fold server metrics into its own snapshot).
+    pub fn bind_with_registry(
+        config: ServerConfig,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let tenants = Arc::new(TenantRegistry::new(
+            config.max_tenants,
+            config.quotas.clone(),
+            config.server_budget.clone(),
+            config.engine.clone(),
+            registry,
+        ));
+        Ok(Server {
+            listener,
+            tenants,
+            config,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The tenant registry (tests inspect quotas and drain state).
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.tenants
+    }
+
+    /// Serves until `shutdown` is set (or a SIGINT/SIGTERM arrives via
+    /// [`signal::triggered`](crate::signal::triggered)), then drains and
+    /// returns the final report: one entry per tenant, one report per
+    /// spec, every report carrying each session's final verdict.
+    pub fn run(&self, shutdown: Arc<AtomicBool>) -> Json {
+        let registry = Arc::clone(self.tenants.metrics());
+        let conns_open = registry.gauge("serve.connections.open");
+        let conns_total = registry.counter("serve.connections.total");
+        let conns_rejected = registry.counter("serve.connections.rejected");
+        let mut threads = Vec::new();
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut last_snapshot = Instant::now();
+        loop {
+            if shutdown.load(Ordering::SeqCst) || crate::signal::triggered() {
+                break;
+            }
+            if let Some(interval) = self.config.metrics_interval {
+                if last_snapshot.elapsed() >= interval {
+                    last_snapshot = Instant::now();
+                    if let Ok(line) = serde_json::to_string(&registry.snapshot()) {
+                        eprintln!("{line}");
+                    }
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    conns_total.inc();
+                    if active.load(Ordering::SeqCst) >= self.config.max_conns {
+                        conns_rejected.inc();
+                        reject_connection(stream, "conn-limit", "connection limit reached");
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
+                    conns_open.inc();
+                    let tenants = Arc::clone(&self.tenants);
+                    let shutdown = Arc::clone(&shutdown);
+                    let active = Arc::clone(&active);
+                    let conns_open = conns_open.clone();
+                    let requests = registry.counter("serve.requests.total");
+                    let failures = registry.counter("serve.requests.failed");
+                    threads.push(std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &tenants, &shutdown, &requests, &failures);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        conns_open.dec();
+                    }));
+                }
+                Err(e) if proto::is_timeout(&e) => std::thread::sleep(POLL),
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {}
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+        // Drain: no new admissions, in-flight requests finish, engines
+        // flush, final verdicts come back.
+        self.tenants.start_draining();
+        for t in threads {
+            let _ = t.join();
+        }
+        let drained = self.tenants.drain_all();
+        // One last metrics snapshot so the trailing JSONL line reflects
+        // the drained state.
+        if self.config.metrics_interval.is_some() {
+            if let Ok(line) = serde_json::to_string(&registry.snapshot()) {
+                eprintln!("{line}");
+            }
+        }
+        json!({"clean": true, "drained": drained})
+    }
+}
+
+/// Answers an over-cap connection with one typed JSONL error and closes.
+fn reject_connection(mut stream: TcpStream, code: &str, message: &str) {
+    let _ = stream.set_nodelay(true);
+    let doc = json!({"ok": false, "error": {"code": code, "message": message}});
+    let _ = write_frame(&mut stream, Framing::Jsonl, &doc);
+}
+
+/// One connection: poll for a frame, dispatch, answer in the same framing.
+fn serve_connection(
+    stream: TcpStream,
+    tenants: &TenantRegistry,
+    shutdown: &AtomicBool,
+    requests: &rega_obs::Counter,
+    failures: &rega_obs::Counter,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) || crate::signal::triggered() {
+            return Ok(());
+        }
+        // Idle-poll with the short timeout; only once bytes are waiting is
+        // the longer in-frame timeout applied, so a half-written frame
+        // cannot wedge the drain but a slow writer is not cut off either.
+        use std::io::BufRead;
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e) if proto::is_timeout(&e) => continue,
+            Err(e) => return Err(e),
+        }
+        reader.get_ref().set_read_timeout(Some(IN_FRAME_TIMEOUT))?;
+        let frame = read_frame(&mut reader);
+        reader.get_ref().set_read_timeout(Some(POLL))?;
+        match frame {
+            Ok(None) => return Ok(()),
+            Ok(Some((framing, doc))) => {
+                requests.inc();
+                let response = match parse_request(&doc) {
+                    Ok(cmd) => dispatch(cmd, tenants),
+                    Err(message) => {
+                        json!({"ok": false, "error": {"code": "bad-request", "message": message}})
+                    }
+                };
+                if response["ok"] != json!(true) {
+                    failures.inc();
+                }
+                write_frame(&mut writer, framing, &response)?;
+            }
+            Err(FrameError::BadJson(message)) => {
+                // The malformed message was fully consumed; the stream is
+                // still in sync, so answer and keep serving.
+                failures.inc();
+                let doc = json!({"ok": false, "error": {"code": "bad-json", "message": message}});
+                write_frame(&mut writer, Framing::Jsonl, &doc)?;
+            }
+            Err(e @ (FrameError::Oversized { .. } | FrameError::Truncated { .. })) => {
+                // The stream is desynchronized (unread payload bytes, or a
+                // peer that stopped mid-frame): answer once and hang up.
+                failures.inc();
+                let doc = json!({"ok": false, "error": {
+                    "code": match e { FrameError::Oversized { .. } => "frame-oversized",
+                                       _ => "frame-truncated" },
+                    "message": e.to_string(),
+                }});
+                let _ = write_frame(&mut writer, Framing::Jsonl, &doc);
+                return Ok(());
+            }
+            Err(FrameError::Io(_)) => return Ok(()),
+        }
+    }
+}
+
+/// Annotates an ingest error object with how many events of the request
+/// were accepted before the failure (partial-batch accounting).
+fn with_accepted(mut error: Json, accepted: u64) -> Json {
+    if let Json::Object(map) = &mut error {
+        map.insert("accepted".to_string(), Json::from(accepted));
+    }
+    error
+}
+
+/// Executes one command against the tenant registry and shapes the wire
+/// response. Admission failures come back as the error's typed JSON.
+fn dispatch(cmd: Command, tenants: &TenantRegistry) -> Json {
+    let fail = |error: Json| json!({"ok": false, "error": error});
+    match cmd {
+        Command::Hello { tenant } => match tenants.hello(&tenant) {
+            Ok(created) => json!({"ok": true, "cmd": "hello", "tenant": tenant,
+                                  "created": created}),
+            Err(e) => fail(e.to_json()),
+        },
+        Command::LoadSpec {
+            tenant,
+            name,
+            spec,
+            view,
+        } => match tenants.load_spec(&tenant, &name, &spec, view) {
+            Ok(registers) => json!({"ok": true, "cmd": "load-spec", "spec": name,
+                                    "registers": registers}),
+            Err(e) => fail(e.to_json()),
+        },
+        Command::OpenSession {
+            tenant,
+            spec,
+            session,
+        } => match tenants.open_session(&tenant, &spec, &session) {
+            Ok(()) => json!({"ok": true, "cmd": "open-session", "session": session}),
+            Err(e) => fail(e.to_json()),
+        },
+        Command::Event {
+            tenant,
+            spec,
+            event,
+        } => match tenants.ingest(&tenant, &spec, std::slice::from_ref(&event)) {
+            Ok(n) => json!({"ok": true, "cmd": "event", "accepted": n}),
+            Err((accepted, e)) => fail(with_accepted(e.to_json(), accepted)),
+        },
+        Command::EventBatch {
+            tenant,
+            spec,
+            events,
+        } => match tenants.ingest(&tenant, &spec, &events) {
+            Ok(n) => json!({"ok": true, "cmd": "event-batch", "accepted": n}),
+            Err((accepted, e)) => fail(with_accepted(e.to_json(), accepted)),
+        },
+        Command::Snapshot { tenant } => match tenants.snapshot(&tenant) {
+            Ok(snapshot) => json!({"ok": true, "cmd": "snapshot", "snapshot": snapshot}),
+            Err(e) => fail(e.to_json()),
+        },
+        Command::Close {
+            tenant,
+            spec,
+            session,
+        } => match (spec, session) {
+            (Some(spec), Some(session)) => match tenants.close_session(&tenant, &spec, &session) {
+                Ok(()) => json!({"ok": true, "cmd": "close", "session": session}),
+                Err(e) => fail(e.to_json()),
+            },
+            (Some(spec), None) => match tenants.close_spec(&tenant, &spec) {
+                Ok(report) => json!({"ok": true, "cmd": "close", "report": report}),
+                Err(e) => fail(e.to_json()),
+            },
+            (None, _) => match tenants.close_tenant(&tenant) {
+                Ok(report) => json!({"ok": true, "cmd": "close", "report": report}),
+                Err(e) => fail(e.to_json()),
+            },
+        },
+        Command::Stats => json!({"ok": true, "cmd": "stats", "stats": tenants.stats()}),
+        Command::Health => json!({
+            "ok": true,
+            "cmd": "health",
+            "status": if tenants.is_draining() { "draining" } else { "serving" },
+        }),
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared SIGINT + SIGTERM handling for the CLI and the server.
+//!
+//! This is the one drain path: both the batch CLI commands and `rega
+//! serve` call [`install`] with the leaked cancellation flag of their
+//! [`Budget`](rega_data::Budget) (see
+//! [`CancelToken::leaked_flag`](rega_data::CancelToken::leaked_flag)), and
+//! both signals then (a) flip a process-wide "triggered" marker that the
+//! event/accept loops poll between units of work, and (b) flip the
+//! budget's cancellation flag so governed symbolic constructions unwind
+//! with `GovernError::Cancelled` within one stride.
+//!
+//! A signal handler may only touch `static` atomics, so the budget flag is
+//! stored as a raw pointer in a `static` — the pointer comes from a leaked
+//! (never freed) `&'static AtomicBool`, which makes the handler's store
+//! async-signal safe. Ctrl-c at a terminal delivers SIGINT; process
+//! supervisors (systemd, Kubernetes, `timeout(1)`) deliver SIGTERM first —
+//! handling both with the same drain semantics is what makes the server
+//! shut down cleanly under real supervision.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    static CANCEL_FLAG: AtomicUsize = AtomicUsize::new(0);
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SEEN.store(true, Ordering::SeqCst);
+        let p = CANCEL_FLAG.load(Ordering::SeqCst);
+        if p != 0 {
+            // Safety: the pointer was produced from a leaked (never freed)
+            // `&'static AtomicBool` in `install`.
+            unsafe { &*(p as *const AtomicBool) }.store(true, Ordering::SeqCst);
+        }
+    }
+
+    pub fn install(flag: &'static AtomicBool) {
+        CANCEL_FLAG.store(flag as *const AtomicBool as usize, Ordering::SeqCst);
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        SEEN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::*;
+
+    pub fn install(_flag: &'static AtomicBool) {}
+
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// Installs one handler for both SIGINT and SIGTERM. Either signal flips
+/// the process-wide [`triggered`] marker and stores `true` into `flag`
+/// (pass [`CancelToken::leaked_flag`](rega_data::CancelToken::leaked_flag)
+/// so governed constructions see the cancellation too). Call once at
+/// process start; a second call replaces the observed flag.
+pub fn install(flag: &'static AtomicBool) {
+    imp::install(flag)
+}
+
+/// Whether SIGINT or SIGTERM has been received since [`install`].
+pub fn triggered() -> bool {
+    imp::triggered()
+}

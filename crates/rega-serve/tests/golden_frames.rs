@@ -1,0 +1,139 @@
+//! Golden-file wire-format tests: the exact bytes of encoded frames are
+//! pinned under `testdata/`, in both framings. A change to the framing
+//! (magic byte, length prefix, JSON serialization order) fails these
+//! tests until the golden files are deliberately regenerated with
+//! `UPDATE_GOLDEN=1 cargo test -p rega-serve --test golden_frames` — the
+//! wire format is a compatibility surface, not an implementation detail.
+//!
+//! The vendored `serde_json` serializes objects from a `BTreeMap`, so key
+//! order (and therefore every byte) is deterministic.
+
+use rega_serve::proto::{read_frame, write_frame, FrameError, Framing, BINARY_MAGIC};
+use serde_json::{json, Value as Json};
+use std::io::Cursor;
+use std::path::PathBuf;
+
+/// The pinned corpus: one representative of every command, including
+/// non-ASCII payloads and an embedded newline (which only the binary
+/// framing can carry inside a payload string… encoded as `\n` escape in
+/// JSON, so JSONL carries it too — the golden files prove it).
+fn corpus() -> Vec<(&'static str, Json)> {
+    vec![
+        ("hello", json!({"cmd": "hello", "tenant": "acme"})),
+        (
+            "load_spec",
+            json!({
+                "cmd": "load-spec", "tenant": "acme", "name": "orders",
+                "spec": "registers 1\nstate p init accept\ntrans p -> p : x1 = x1\n",
+                "view": 1u64,
+            }),
+        ),
+        (
+            "open_session",
+            json!({"cmd": "open-session", "tenant": "acme", "spec": "orders",
+                   "session": "sess-0"}),
+        ),
+        (
+            "event_batch",
+            json!({
+                "cmd": "event-batch", "tenant": "acmé", "spec": "orders",
+                "events": [
+                    {"session": "sess-0", "state": "p", "regs": [1u64, 2u64]},
+                    {"session": "sess-0", "end": true},
+                ],
+            }),
+        ),
+        (
+            "close",
+            json!({"cmd": "close", "tenant": "acme", "spec": "orders"}),
+        ),
+    ]
+}
+
+fn golden_path(name: &str, framing: Framing) -> PathBuf {
+    let ext = match framing {
+        Framing::Jsonl => "jsonl",
+        Framing::Binary => "bin",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(format!("{name}.{ext}.golden"))
+}
+
+fn encode(framing: Framing, doc: &Json) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, framing, doc).unwrap();
+    buf
+}
+
+#[test]
+fn golden_frames_are_byte_identical() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, doc) in corpus() {
+        for framing in [Framing::Jsonl, Framing::Binary] {
+            let path = golden_path(name, framing);
+            let encoded = encode(framing, &doc);
+            if update {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &encoded).unwrap();
+                continue;
+            }
+            let golden = std::fs::read(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden file {} ({e}); regenerate with \
+                     UPDATE_GOLDEN=1 cargo test -p rega-serve --test golden_frames",
+                    path.display()
+                )
+            });
+            // Encode → bytes must match the pinned file exactly.
+            assert_eq!(
+                encoded,
+                golden,
+                "{name} ({framing:?}): encoding drifted from the golden bytes\n\
+                 encoded: {:?}\n golden: {:?}",
+                String::from_utf8_lossy(&encoded),
+                String::from_utf8_lossy(&golden),
+            );
+            // Decode the *golden* bytes → must round-trip to the document
+            // and report the framing it was written in.
+            let mut cursor = Cursor::new(golden.clone());
+            let (got_framing, got) = read_frame(&mut cursor)
+                .unwrap_or_else(|e| panic!("{name} ({framing:?}): decode failed: {e}"))
+                .expect("golden file holds one frame");
+            assert_eq!(got_framing, framing, "{name}: framing tag drifted");
+            assert_eq!(got, doc, "{name} ({framing:?}): decoded document drifted");
+            assert_eq!(
+                cursor.position() as usize,
+                golden.len(),
+                "{name} ({framing:?}): decoder left trailing bytes unconsumed"
+            );
+        }
+    }
+}
+
+/// Every truncation of a golden binary frame must be rejected (never
+/// silently accepted, never a panic), and an adversarial length prefix is
+/// refused before any payload allocation.
+#[test]
+fn corrupted_golden_frames_are_rejected() {
+    for (name, doc) in corpus() {
+        let frame = encode(Framing::Binary, &doc);
+        for cut in 1..frame.len() {
+            let mut truncated = frame.clone();
+            truncated.truncate(cut);
+            match read_frame(&mut Cursor::new(truncated)) {
+                Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => {}
+                Ok(other) => panic!("{name}: truncation at {cut} decoded as {other:?}"),
+                Err(other) => panic!("{name}: truncation at {cut} gave {other:?}"),
+            }
+        }
+    }
+    // A length prefix past MAX_FRAME_LEN is refused up front.
+    let mut hostile = vec![BINARY_MAGIC];
+    hostile.extend(u32::MAX.to_be_bytes());
+    hostile.extend(b"ignored");
+    match read_frame(&mut Cursor::new(hostile)) {
+        Err(FrameError::Oversized { len, .. }) => assert_eq!(len, u32::MAX as usize),
+        other => panic!("oversized frame gave {other:?}"),
+    }
+}

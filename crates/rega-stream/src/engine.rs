@@ -246,6 +246,15 @@ impl Engine {
         self.inner.metrics()
     }
 
+    /// A cloneable concurrent-ingest handle (threaded scheduler only;
+    /// `None` on the deterministic simulation, which is single-threaded by
+    /// design). Any number of clones may submit from different threads;
+    /// all clones must be dropped before [`Engine::finish`] can drain —
+    /// a surviving handle keeps the shard queues connected.
+    pub fn handle(&self) -> Option<crate::scheduler::EngineHandle> {
+        self.inner.handle()
+    }
+
     /// Drains in-flight events and serializes the complete monitoring
     /// state as JSON (simulation only — returns `None` on the threaded
     /// scheduler). The engine remains usable afterwards.

@@ -176,6 +176,53 @@ pub fn parse_event_checked(line: &str, registers: usize) -> Result<Event, EventE
     Ok(event)
 }
 
+/// An [`EventError`] annotated with where in the input stream the
+/// offending line sat, so quarantine counters and server error responses
+/// can point operators at the exact malformed input instead of just
+/// saying "an event was bad somewhere".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocatedEventError {
+    /// 1-based line number of the malformed line in its stream.
+    pub line: u64,
+    /// Byte offset of the start of the malformed line from the start of
+    /// the stream.
+    pub byte_offset: u64,
+    /// The underlying parse error.
+    pub error: EventError,
+}
+
+impl fmt::Display for LocatedEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} (byte {}): {}",
+            self.line, self.byte_offset, self.error
+        )
+    }
+}
+
+impl std::error::Error for LocatedEventError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// [`parse_event_checked`] with position bookkeeping: on failure the error
+/// carries the 1-based line number and the byte offset of the line start,
+/// as supplied by the caller's reader loop.
+pub fn parse_event_located(
+    line: &str,
+    registers: usize,
+    line_no: u64,
+    byte_offset: u64,
+) -> Result<Event, LocatedEventError> {
+    parse_event_checked(line, registers).map_err(|error| LocatedEventError {
+        line: line_no,
+        byte_offset,
+        error,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +304,24 @@ mod tests {
         );
         // `End` events have no tuple and always pass the arity check.
         assert!(parse_event_checked(r#"{"session": "s", "end": true}"#, 2).is_ok());
+    }
+
+    #[test]
+    fn located_parse_carries_the_position() {
+        let line = r#"{"session": "s", "state": "q", "regs": [1]}"#;
+        assert!(parse_event_located(line, 1, 3, 120).is_ok());
+        let err = parse_event_located(line, 2, 3, 120).unwrap_err();
+        assert_eq!(
+            err,
+            LocatedEventError {
+                line: 3,
+                byte_offset: 120,
+                error: EventError::Arity { got: 1, want: 2 },
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "line 3 (byte 120): bad event: register tuple has arity 1, the specification has 2"
+        );
     }
 }

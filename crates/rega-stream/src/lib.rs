@@ -63,10 +63,12 @@ pub mod spec;
 
 pub use clock::{Clock, SimClock, SystemClock};
 pub use engine::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
-pub use event::{parse_event, parse_event_checked, Event, EventError};
+pub use event::{
+    parse_event, parse_event_checked, parse_event_located, Event, EventError, LocatedEventError,
+};
 pub use fault::FaultPlan;
 pub use metrics::EngineMetrics;
-pub use scheduler::{Scheduler, ThreadedScheduler};
+pub use scheduler::{EngineHandle, Scheduler, ThreadedScheduler};
 pub use session::{Session, SessionStatus, ViolationKind};
 pub use sim::SimScheduler;
 pub use snapshot::SnapshotError;

@@ -52,8 +52,139 @@ pub trait Scheduler: Send {
     /// (deterministic schedulers only).
     fn checkpoint(&mut self) -> Option<Json>;
 
+    /// A cloneable concurrent-ingest handle, if this scheduler supports
+    /// submission from multiple threads (the threaded scheduler does; the
+    /// deterministic simulation, whose whole point is a single-threaded
+    /// interleaving, does not).
+    fn handle(&self) -> Option<EngineHandle> {
+        None
+    }
+
     /// Signals end-of-stream, drains every queue, and reports.
     fn finish(self: Box<Self>) -> EngineReport;
+}
+
+/// The routing core shared by the scheduler's own submit path and every
+/// cloned [`EngineHandle`]: arity validation at the edge plus shard
+/// routing with bounded back-pressure. Cloning shares the same shard
+/// queues, metrics, and liveness view; `SyncSender` is `Send + Sync`, so
+/// clones may submit concurrently from any number of threads while
+/// per-session ordering is still guaranteed *per submitting thread* (one
+/// session fed by one producer keeps its order; interleaving across
+/// producers is the callers' business, exactly as with any socket).
+#[derive(Clone)]
+pub(crate) struct Router {
+    senders: Vec<SyncSender<Envelope>>,
+    metrics: Arc<EngineMetrics>,
+    clock: Arc<SystemClock>,
+    live_workers: Arc<AtomicUsize>,
+    registers: usize,
+    shards: usize,
+    submit_timeout: Option<Duration>,
+}
+
+impl Router {
+    /// Rejects arity-invalid step events before they reach any queue.
+    fn check_arity(&self, event: &Event) -> Result<(), SubmitError> {
+        if let Event::Step { regs, .. } = event {
+            if regs.len() != self.registers {
+                self.metrics.submit_errors.inc();
+                return Err(SubmitError::Arity {
+                    got: regs.len(),
+                    want: self.registers,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts and routes one already-validated event.
+    fn submit_unchecked(&self, event: Event) -> Result<(), SubmitError> {
+        self.metrics.events_submitted.inc();
+        self.route(Envelope {
+            event,
+            submitted_ns: self.clock.now_ns(),
+            fault_immune: false,
+        })
+    }
+
+    /// Routes one envelope to its shard queue, back-pressuring on a full
+    /// queue up to the submit timeout.
+    fn route(&self, mut env: Envelope) -> Result<(), SubmitError> {
+        let shard = shard_index(env.event.session(), self.shards);
+        let deadline_ns = self.submit_timeout.map(|t| {
+            self.clock
+                .now_ns()
+                .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as u64)
+        });
+        loop {
+            match self.senders[shard].try_send(env) {
+                Ok(()) => {
+                    if let Some(depth) = self.metrics.queue_depth.get(shard) {
+                        depth.inc();
+                    }
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.submit_errors.inc();
+                    return Err(SubmitError::WorkersDead);
+                }
+                Err(TrySendError::Full(back)) => {
+                    env = back;
+                    if self.live_workers.load(Ordering::Acquire) == 0 {
+                        self.metrics.submit_errors.inc();
+                        return Err(SubmitError::WorkersDead);
+                    }
+                    if let Some(deadline) = deadline_ns {
+                        if self.clock.now_ns() >= deadline {
+                            self.metrics.submit_errors.inc();
+                            return Err(SubmitError::QueueFull { shard });
+                        }
+                    }
+                    self.clock.stall(10_000); // 10 µs between retries
+                }
+            }
+        }
+    }
+}
+
+/// A cloneable ingest handle onto a running threaded engine.
+///
+/// Obtained from [`Engine::handle`](crate::engine::Engine::handle); any
+/// number of clones may [`submit`](EngineHandle::submit) concurrently from
+/// different threads (a network server's connection handlers, most
+/// prominently) while the engine itself stays owned by whoever will
+/// eventually drain it with `finish`. Handles share the engine's arity
+/// validation, back-pressure, and metrics; they bypass producer-side fault
+/// injection, which remains a test feature of the owning scheduler's
+/// submit path.
+///
+/// A handle does not keep the engine alive: after `finish` drops the shard
+/// queues, submissions fail with [`SubmitError::WorkersDead`].
+#[derive(Clone)]
+pub struct EngineHandle {
+    router: Router,
+}
+
+impl EngineHandle {
+    /// Submits one event, exactly as [`Engine::submit`](crate::engine::Engine::submit)
+    /// would: arity-invalid step events are rejected at the edge, a full
+    /// shard queue back-pressures up to the submit timeout, and dead
+    /// workers fail fast.
+    pub fn submit(&self, event: Event) -> Result<(), SubmitError> {
+        self.router.check_arity(&event)?;
+        self.router.submit_unchecked(event)
+    }
+
+    /// The engine's live metrics.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.router.metrics
+    }
+
+    /// The register arity every step event must carry.
+    pub fn registers(&self) -> usize {
+        self.router.registers
+    }
 }
 
 /// An envelope carrying the submit timestamp for queue-latency accounting
@@ -73,15 +204,9 @@ struct InjectedPanic;
 
 /// The production scheduler: a sharded worker pool on OS threads.
 pub struct ThreadedScheduler {
-    senders: Vec<SyncSender<Envelope>>,
+    router: Router,
     workers: Vec<JoinHandle<Vec<SessionOutcome>>>,
-    metrics: Arc<EngineMetrics>,
-    clock: Arc<SystemClock>,
-    live_workers: Arc<AtomicUsize>,
     producer_faults: FaultInjector,
-    registers: usize,
-    shards: usize,
-    submit_timeout: Option<Duration>,
 }
 
 impl ThreadedScheduler {
@@ -135,107 +260,66 @@ impl ThreadedScheduler {
             );
         }
         ThreadedScheduler {
-            senders,
+            router: Router {
+                senders,
+                metrics,
+                clock,
+                live_workers,
+                registers: spec.registers(),
+                shards,
+                submit_timeout: config.submit_timeout,
+            },
             workers: handles,
-            metrics,
-            clock,
-            live_workers,
             // Index u64::MAX keeps the producer's RNG stream disjoint from
             // every worker's.
             producer_faults: FaultInjector::new(&config.fault, u64::MAX),
-            registers: spec.registers(),
-            shards,
-            submit_timeout: config.submit_timeout,
-        }
-    }
-
-    /// Routes one envelope to its shard queue, back-pressuring on a full
-    /// queue up to the submit timeout.
-    fn route(&self, mut env: Envelope) -> Result<(), SubmitError> {
-        let shard = shard_index(env.event.session(), self.shards);
-        let deadline_ns = self.submit_timeout.map(|t| {
-            self.clock
-                .now_ns()
-                .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as u64)
-        });
-        loop {
-            match self.senders[shard].try_send(env) {
-                Ok(()) => {
-                    if let Some(depth) = self.metrics.queue_depth.get(shard) {
-                        depth.inc();
-                    }
-                    return Ok(());
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    self.metrics.submit_errors.inc();
-                    return Err(SubmitError::WorkersDead);
-                }
-                Err(TrySendError::Full(back)) => {
-                    env = back;
-                    if self.live_workers.load(Ordering::Acquire) == 0 {
-                        self.metrics.submit_errors.inc();
-                        return Err(SubmitError::WorkersDead);
-                    }
-                    if let Some(deadline) = deadline_ns {
-                        if self.clock.now_ns() >= deadline {
-                            self.metrics.submit_errors.inc();
-                            return Err(SubmitError::QueueFull { shard });
-                        }
-                    }
-                    self.clock.stall(10_000); // 10 µs between retries
-                }
-            }
         }
     }
 }
 
 impl Scheduler for ThreadedScheduler {
     fn submit(&mut self, event: Event) -> Result<(), SubmitError> {
-        if let Event::Step { regs, .. } = &event {
-            if regs.len() != self.registers {
-                self.metrics.submit_errors.inc();
-                return Err(SubmitError::Arity {
-                    got: regs.len(),
-                    want: self.registers,
-                });
-            }
-        }
+        self.router.check_arity(&event)?;
         // Producer-side transport-fault injection: corrupted copies and
         // duplicated terminal events ride in *after* the genuine event
         // (and bypass the arity gate — that is the point).
         let injected = self.producer_faults.injected_copies(&event);
-        self.metrics.events_submitted.inc();
-        self.route(Envelope {
-            event,
-            submitted_ns: self.clock.now_ns(),
-            fault_immune: false,
-        })?;
+        self.router.submit_unchecked(event)?;
         for copy in injected {
-            self.metrics.events_submitted.inc();
-            self.route(Envelope {
-                event: copy,
-                submitted_ns: self.clock.now_ns(),
-                fault_immune: false,
-            })?;
+            self.router.submit_unchecked(copy)?;
         }
         Ok(())
     }
 
     fn metrics(&self) -> &Arc<EngineMetrics> {
-        &self.metrics
+        &self.router.metrics
     }
 
     fn checkpoint(&mut self) -> Option<Json> {
         None
     }
 
+    fn handle(&self) -> Option<EngineHandle> {
+        Some(EngineHandle {
+            router: self.router.clone(),
+        })
+    }
+
     fn finish(self: Box<Self>) -> EngineReport {
-        drop(self.senders);
+        let ThreadedScheduler {
+            router, workers, ..
+        } = *self;
+        let metrics = Arc::clone(&router.metrics);
+        // Handles cloned off this engine keep their own sender clones, so
+        // dropping the router here only guarantees disconnection once those
+        // handles are gone too; workers also observe end-of-stream through
+        // the producer's senders going away.
+        drop(router);
         let mut outcomes: Vec<SessionOutcome> = Vec::new();
-        for handle in self.workers {
+        for handle in workers {
             outcomes.extend(handle.join().expect("worker thread died outside its loop"));
         }
-        make_report(outcomes, self.metrics)
+        make_report(outcomes, metrics)
     }
 }
 

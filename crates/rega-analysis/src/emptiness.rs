@@ -28,7 +28,7 @@
 use crate::classes::{ClassOptions, ClassStructure};
 use rega_automata::{emptiness as nba_emptiness, Lasso};
 use rega_core::run::{Config, FiniteRun, LassoRun};
-use rega_core::symbolic::scontrol_nba_governed;
+use rega_core::symbolic::{scontrol_nba_governed, SControlSource};
 use rega_core::{Budget, CoreError, ExtendedAutomaton, GovernError, TransId};
 use rega_data::{Database, Literal, SatCache, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -115,12 +115,140 @@ pub fn check_emptiness_cached(
     check_emptiness_governed(ext, opts, cache, &Budget::unlimited())
 }
 
-/// [`check_emptiness_cached`] under a [`Budget`], governed in all three
-/// phases: the `SControl` NBA wiring, the lasso search (via the abortable
-/// enumeration — a budget trip observed inside the DFS aborts it and the
-/// stashed error is propagated), and every per-lasso witness construction
-/// (stabilized class structures plus the collapse attempts).
+/// [`check_emptiness_cached`] under a [`Budget`], running the **on-the-fly
+/// kernel**: the `SControl` Büchi automaton is never materialized. A lazy
+/// [`SControlSource`] wires successors into its edge arena only for states
+/// the lasso search actually reaches, and each candidate lasso is handed to
+/// witness construction *as it is discovered* — on satisfiable instances
+/// the search stops at the first witness with most of the automaton never
+/// built.
+///
+/// The traversal (and therefore the candidate order, the verdict, and the
+/// returned witness) is byte-identical to the retained
+/// [`check_emptiness_reference`] pipeline, which materializes the automaton
+/// up front; the differential suite pins the two against each other.
+///
+/// Governance: successor wiring ticks `emptiness.on_the_fly.expand` (with a
+/// type-count memory ceiling), the search loop ticks
+/// `emptiness.on_the_fly.search` per DFS expansion, and every per-lasso
+/// witness construction runs governed. A trip inside the lazy source is
+/// stashed (rega-automata cannot see the budget type), drains the search,
+/// and is re-raised here; nothing tripped is memoized.
 pub fn check_emptiness_governed(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<EmptinessVerdict, CoreError> {
+    let _check = rega_obs::span!("emptiness.check", max_lassos = opts.max_lassos);
+    let verdict = (|| {
+        let mut src = SControlSource::new(ext.ra(), cache, budget);
+        let trip = src.trip_handle();
+        let mut search_trip: Option<GovernError> = None;
+        let mut witness_err: Option<CoreError> = None;
+        let mut found: Option<Witness> = None;
+        let mut candidates = 0usize;
+        let lassos = {
+            let _phase = rega_obs::span!("emptiness.on_the_fly.search");
+            nba_emptiness::for_each_accepting_lasso(
+                &mut src,
+                opts.max_lassos,
+                opts.max_cycle_len,
+                LASSO_SEARCH_MAX_STEPS,
+                &mut || {
+                    if trip.borrow().is_some() {
+                        return true;
+                    }
+                    match budget.tick("emptiness.on_the_fly.search") {
+                        Ok(()) => false,
+                        Err(e) => {
+                            search_trip = Some(e);
+                            true
+                        }
+                    }
+                },
+                &mut |control| {
+                    let _phase = rega_obs::span!("emptiness.witness", lasso = candidates);
+                    candidates += 1;
+                    if let Err(e) = budget.check("emptiness.witness") {
+                        witness_err = Some(e.into());
+                        return true;
+                    }
+                    match witness_for_lasso_governed(ext, control, opts, cache, budget) {
+                        Ok(Some(w)) => {
+                            found = Some(w);
+                            true
+                        }
+                        Ok(None) => false,
+                        Err(e) => {
+                            witness_err = Some(e);
+                            true
+                        }
+                    }
+                },
+            )
+        };
+        rega_obs::event!(
+            "emptiness.lassos",
+            candidates = lassos.len(),
+            nodes_expanded = src.arena().nodes_expanded()
+        );
+        if let Some(e) = src.take_trip() {
+            return Err(e.into());
+        }
+        if let Some(e) = search_trip {
+            return Err(e.into());
+        }
+        if let Some(e) = witness_err {
+            return Err(e);
+        }
+        match found {
+            Some(w) => Ok(EmptinessVerdict::NonEmpty(Box::new(w))),
+            None => Ok(EmptinessVerdict::Empty),
+        }
+    })();
+    let stats = cache.stats();
+    rega_obs::event!(
+        "satcache.stats",
+        hits = stats.hits,
+        misses = stats.misses,
+        distinct = stats.distinct_types
+    );
+    rega_obs::event!(
+        "emptiness.verdict",
+        nonempty = matches!(verdict, Ok(ref v) if v.is_nonempty())
+    );
+    verdict
+}
+
+/// The pre-kernel emptiness pipeline, retained verbatim as the pinned
+/// reference for the differential suite: materialize the full `SControl`
+/// Büchi automaton, enumerate every candidate lasso up front, then try
+/// witnesses in enumeration order with from-scratch stabilized class
+/// builds. [`check_emptiness`] must return identical verdicts (and the
+/// same witness lasso) on every input.
+pub fn check_emptiness_reference(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+) -> Result<EmptinessVerdict, CoreError> {
+    check_emptiness_reference_cached(ext, opts, &SatCache::new(ext.ra().schema().clone()))
+}
+
+/// [`check_emptiness_reference`] with a shared [`SatCache`] (the reference
+/// still memoizes σ-type analyses — the pipelines differ in *shape*, not
+/// in caching policy).
+pub fn check_emptiness_reference_cached(
+    ext: &ExtendedAutomaton,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+) -> Result<EmptinessVerdict, CoreError> {
+    check_emptiness_reference_governed(ext, opts, cache, &Budget::unlimited())
+}
+
+/// [`check_emptiness_reference_cached`] under a [`Budget`], governed in all
+/// three phases: NBA wiring, lasso search (abort hook), and per-lasso
+/// witness construction.
+pub fn check_emptiness_reference_governed(
     ext: &ExtendedAutomaton,
     opts: &EmptinessOptions,
     cache: &SatCache,
@@ -160,7 +288,9 @@ pub fn check_emptiness_governed(
         for (i, control) in lassos.iter().enumerate() {
             let _phase = rega_obs::span!("emptiness.witness", lasso = i);
             budget.check("emptiness.witness")?;
-            if let Some(w) = witness_for_lasso_governed(ext, control, opts, cache, budget)? {
+            if let Some(w) =
+                witness_for_lasso_reference_governed(ext, control, opts, cache, budget)?
+            {
                 return Ok(EmptinessVerdict::NonEmpty(Box::new(w)));
             }
         }
@@ -220,6 +350,36 @@ pub fn witness_for_lasso_governed(
     let mut class_opts = opts.class_opts;
     class_opts.initial_periods = class_opts.initial_periods.max(2 * opts.max_collapse + 3);
     let s = ClassStructure::build_stable_governed(ext, control, class_opts, cache, budget)?;
+    witness_for_structure(ext, control, opts, budget, s)
+}
+
+/// [`witness_for_lasso_governed`] with the *from-scratch* stabilized class
+/// builder — the per-lasso pipeline of [`check_emptiness_reference`]. The
+/// class structures are field-identical (pinned by the equivalence tests in
+/// `classes.rs`), so the two witness paths cannot diverge.
+pub fn witness_for_lasso_reference_governed(
+    ext: &ExtendedAutomaton,
+    control: &Lasso<TransId>,
+    opts: &EmptinessOptions,
+    cache: &SatCache,
+    budget: &Budget,
+) -> Result<Option<Witness>, CoreError> {
+    let mut class_opts = opts.class_opts;
+    class_opts.initial_periods = class_opts.initial_periods.max(2 * opts.max_collapse + 3);
+    let s =
+        ClassStructure::build_stable_reference_governed(ext, control, class_opts, cache, budget)?;
+    witness_for_structure(ext, control, opts, budget, s)
+}
+
+/// The builder-independent tail of the per-lasso pipeline: consistency,
+/// then witness construction (with or without a database).
+fn witness_for_structure(
+    ext: &ExtendedAutomaton,
+    control: &Lasso<TransId>,
+    opts: &EmptinessOptions,
+    budget: &Budget,
+    s: ClassStructure,
+) -> Result<Option<Witness>, CoreError> {
     if !s.consistent {
         return Ok(None);
     }
@@ -577,6 +737,44 @@ mod tests {
         let ext = ExtendedAutomaton::new(ra);
         let v = check_emptiness(&ext, &EmptinessOptions::default()).unwrap();
         assert!(!v.is_nonempty());
+    }
+
+    #[test]
+    fn on_the_fly_matches_reference_on_paper_examples() {
+        // The heavyweight 256-case differential suite lives in
+        // `tests/emptiness_differential.rs`; this is the in-crate smoke
+        // version over the paper's examples, including an empty one.
+        let opts = EmptinessOptions::default();
+        let mut exts: Vec<ExtendedAutomaton> = Vec::new();
+        let (ra, _) = paper::example1();
+        exts.push(ExtendedAutomaton::new(ra));
+        exts.push(paper::example5());
+        exts.push(paper::example7());
+        exts.push(paper::example8());
+        exts.push(ExtendedAutomaton::new(paper::example23()));
+        let mut contradictory = paper::example5();
+        contradictory
+            .add_constraint_str(
+                rega_core::ConstraintKind::NotEqual,
+                rega_data::RegIdx(0),
+                rega_data::RegIdx(0),
+                "p1 p2* p1",
+            )
+            .unwrap();
+        exts.push(contradictory);
+        for (i, ext) in exts.iter().enumerate() {
+            let fast = check_emptiness(ext, &opts).unwrap();
+            let refr = check_emptiness_reference(ext, &opts).unwrap();
+            assert_eq!(
+                fast.is_nonempty(),
+                refr.is_nonempty(),
+                "verdict mismatch on workload {i}"
+            );
+            if let (EmptinessVerdict::NonEmpty(wf), EmptinessVerdict::NonEmpty(wr)) = (&fast, &refr)
+            {
+                assert_eq!(wf.control, wr.control, "witness lasso mismatch on {i}");
+            }
+        }
     }
 
     #[test]

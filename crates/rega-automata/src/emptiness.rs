@@ -3,18 +3,27 @@
 //! Nonemptiness of an NBA is witnessed by an ultimately periodic word: a
 //! path from an initial state to an accepting state that lies on a cycle.
 //! The decision procedures of Corollary 10 and Theorem 12 reduce to this.
+//!
+//! The search engine is generic over a [`SuccessorSource`], so it runs
+//! identically over a materialized [`Nba`] (via [`NbaSource`]) and over lazy
+//! sources that wire transitions on demand — the on-the-fly symbolic-control
+//! search of `rega-analysis` never materializes the full automaton on
+//! satisfiable instances. The source contract fixes edge order, so the
+//! traversal, the dedup decisions, and every extracted lasso are the same
+//! whichever backing is used.
 
+use crate::arena::{NbaSource, SuccessorSource};
 use crate::buchi::Nba;
 use crate::lasso::Lasso;
 use crate::Letter;
 use std::collections::VecDeque;
 
-/// Breadth-first search from `sources` over the NBA's transition graph,
-/// recording `(parent_state, letter_index)` for path reconstruction.
-fn bfs<L: Letter>(nba: &Nba<L>, sources: &[usize]) -> Vec<Option<(usize, usize)>> {
+/// Breadth-first search from `sources` over the automaton's transition
+/// graph, recording `(parent_state, letter_index)` for path reconstruction.
+fn bfs<S: SuccessorSource>(src: &mut S, sources: &[usize]) -> Vec<Option<(usize, usize)>> {
     // parent[s] = Some((p, li)) if s reached from p via letter li;
     // sources are marked with a sentinel parent (s, usize::MAX).
-    let mut parent: Vec<Option<(usize, usize)>> = vec![None; nba.num_states()];
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; src.num_states()];
     let mut queue = VecDeque::new();
     for &s in sources {
         if parent[s].is_none() {
@@ -23,12 +32,11 @@ fn bfs<L: Letter>(nba: &Nba<L>, sources: &[usize]) -> Vec<Option<(usize, usize)>
         }
     }
     while let Some(s) = queue.pop_front() {
-        for li in 0..nba.alphabet().len() {
-            for &t in nba.successors_idx(s, li) {
-                if parent[t].is_none() {
-                    parent[t] = Some((s, li));
-                    queue.push_back(t);
-                }
+        for &(li, t) in src.edges(s) {
+            let t = t as usize;
+            if parent[t].is_none() {
+                parent[t] = Some((s, li as usize));
+                queue.push_back(t);
             }
         }
     }
@@ -37,61 +45,81 @@ fn bfs<L: Letter>(nba: &Nba<L>, sources: &[usize]) -> Vec<Option<(usize, usize)>
 
 /// Reconstructs the letter sequence of the BFS path ending at `target`.
 fn path_letters<L: Letter>(
-    nba: &Nba<L>,
+    letters: &[L],
     parent: &[Option<(usize, usize)>],
     mut target: usize,
 ) -> Vec<L> {
-    let mut letters = Vec::new();
+    let mut out = Vec::new();
     while let Some((p, li)) = parent[target] {
         if li == usize::MAX {
             break;
         }
-        letters.push(nba.alphabet()[li].clone());
+        out.push(letters[li].clone());
         target = p;
     }
-    letters.reverse();
-    letters
+    out.reverse();
+    out
 }
 
 /// Finds a cycle through `pivot` (of length >= 1), returning its letters,
 /// or `None` if `pivot` is not on a cycle.
-fn cycle_through<L: Letter>(nba: &Nba<L>, pivot: usize) -> Option<Vec<L>> {
+fn cycle_through<S: SuccessorSource>(
+    src: &mut S,
+    letters: &[S::L],
+    pivot: usize,
+) -> Option<Vec<S::L>> {
     // BFS from the *successors* of pivot back to pivot.
-    let mut parent: Vec<Option<(usize, usize)>> = vec![None; nba.num_states()];
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; src.num_states()];
     let mut queue = VecDeque::new();
-    for li in 0..nba.alphabet().len() {
-        for &t in nba.successors_idx(pivot, li) {
+    for &(li, t) in src.edges(pivot) {
+        let (li, t) = (li as usize, t as usize);
+        if t == pivot {
+            return Some(vec![letters[li].clone()]);
+        }
+        if parent[t].is_none() {
+            parent[t] = Some((pivot, li));
+            queue.push_back(t);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for &(li, t) in src.edges(s) {
+            let (li, t) = (li as usize, t as usize);
             if t == pivot {
-                return Some(vec![nba.alphabet()[li].clone()]);
+                // Reconstruct pivot -> ... -> s, then s -> pivot.
+                let mut out = vec![letters[li].clone()];
+                let mut cur = s;
+                while let Some((p, pli)) = parent[cur] {
+                    out.push(letters[pli].clone());
+                    if p == pivot {
+                        break;
+                    }
+                    cur = p;
+                }
+                out.reverse();
+                return Some(out);
             }
             if parent[t].is_none() {
-                parent[t] = Some((pivot, li));
+                parent[t] = Some((s, li));
                 queue.push_back(t);
             }
         }
     }
-    while let Some(s) = queue.pop_front() {
-        for li in 0..nba.alphabet().len() {
-            for &t in nba.successors_idx(s, li) {
-                if t == pivot {
-                    // Reconstruct pivot -> ... -> s, then s -> pivot.
-                    let mut letters = vec![nba.alphabet()[li].clone()];
-                    let mut cur = s;
-                    while let Some((p, pli)) = parent[cur] {
-                        letters.push(nba.alphabet()[pli].clone());
-                        if p == pivot {
-                            break;
-                        }
-                        cur = p;
-                    }
-                    letters.reverse();
-                    return Some(letters);
-                }
-                if parent[t].is_none() {
-                    parent[t] = Some((s, li));
-                    queue.push_back(t);
-                }
-            }
+    None
+}
+
+/// [`find_accepting_lasso`] over any [`SuccessorSource`]. Lazy sources are
+/// only expanded along the frontier the search actually reaches.
+pub fn find_accepting_lasso_in<S: SuccessorSource>(src: &mut S) -> Option<Lasso<S::L>> {
+    let letters = src.alphabet().to_vec();
+    let inits = src.inits().to_vec();
+    let from_init = bfs(src, &inits);
+    for f in 0..src.num_states() {
+        if !src.is_accepting(f) || from_init[f].is_none() {
+            continue;
+        }
+        if let Some(cycle) = cycle_through(src, &letters, f) {
+            let prefix = path_letters(&letters, &from_init, f);
+            return Some(Lasso::new(prefix, cycle));
         }
     }
     None
@@ -100,17 +128,7 @@ fn cycle_through<L: Letter>(nba: &Nba<L>, pivot: usize) -> Option<Vec<L>> {
 /// Decides emptiness of the NBA. Returns an accepting lasso if the language
 /// is non-empty, `None` otherwise.
 pub fn find_accepting_lasso<L: Letter>(nba: &Nba<L>) -> Option<Lasso<L>> {
-    let from_init = bfs(nba, nba.inits());
-    for f in 0..nba.num_states() {
-        if !nba.is_accepting(f) || from_init[f].is_none() {
-            continue;
-        }
-        if let Some(cycle) = cycle_through(nba, f) {
-            let prefix = path_letters(nba, &from_init, f);
-            return Some(Lasso::new(prefix, cycle));
-        }
-    }
-    None
+    find_accepting_lasso_in(&mut NbaSource::new(nba))
 }
 
 /// Whether the NBA's language is empty.
@@ -162,64 +180,104 @@ pub fn enumerate_accepting_lassos_abortable<L: Letter>(
     max_steps: usize,
     abort: &mut dyn FnMut() -> bool,
 ) -> Vec<Lasso<L>> {
-    let from_init = bfs(nba, nba.inits());
-    let mut out: Vec<Lasso<L>> = Vec::new();
+    for_each_accepting_lasso(
+        &mut NbaSource::new(nba),
+        max_lassos,
+        max_cycle_len,
+        max_steps,
+        abort,
+        &mut |_| false,
+    )
+}
+
+/// The enumeration engine behind [`enumerate_accepting_lassos_abortable`],
+/// generic over the source and streaming each lasso to `sink` as it is
+/// found.
+///
+/// Lassos are produced in the same order, with the same `same_word` dedup
+/// and the same budget accounting, as the materialized enumeration — the
+/// sink cannot influence *which* lassos appear, only when to stop. `sink`
+/// is called once per newly-found lasso; returning `true` stops the search
+/// immediately (the triggering lasso is still included in the result). This
+/// is the hook for on-the-fly interleaving: try an expensive per-lasso
+/// check (e.g. a witness-run construction) as soon as a candidate appears
+/// and stop on first success, instead of materializing the automaton and
+/// the full candidate list first.
+pub fn for_each_accepting_lasso<S: SuccessorSource>(
+    src: &mut S,
+    max_lassos: usize,
+    max_cycle_len: usize,
+    max_steps: usize,
+    abort: &mut dyn FnMut() -> bool,
+    sink: &mut dyn FnMut(&Lasso<S::L>) -> bool,
+) -> Vec<Lasso<S::L>> {
+    let letters = src.alphabet().to_vec();
+    let inits = src.inits().to_vec();
+    let from_init = bfs(src, &inits);
+    let mut out: Vec<Lasso<S::L>> = Vec::new();
     // Phase 1: the shortest cycle through each reachable accepting state.
     // Cheap (one BFS per accepting state) and diverse, this guarantees
     // dense automata still yield candidates before the budget is consumed.
-    for f in 0..nba.num_states() {
+    for f in 0..src.num_states() {
         if out.len() >= max_lassos || abort() {
             return out;
         }
-        if !nba.is_accepting(f) || from_init[f].is_none() {
+        if !src.is_accepting(f) || from_init[f].is_none() {
             continue;
         }
-        if let Some(cycle) = cycle_through(nba, f) {
-            let lasso = Lasso::new(path_letters(nba, &from_init, f), cycle);
+        if let Some(cycle) = cycle_through(src, &letters, f) {
+            let lasso = Lasso::new(path_letters(&letters, &from_init, f), cycle);
             if !out.iter().any(|l| l.same_word(&lasso)) {
+                let stop = sink(&lasso);
                 out.push(lasso);
+                if stop {
+                    return out;
+                }
             }
         }
     }
     // Phase 2: exhaustive simple-cycle enumeration under the step budget
     // (complete for small automata, best-effort for large ones).
     let mut steps = 0usize;
-    for f in 0..nba.num_states() {
+    for f in 0..src.num_states() {
         if out.len() >= max_lassos || steps >= max_steps || abort() {
             break;
         }
-        if !nba.is_accepting(f) || from_init[f].is_none() {
+        if !src.is_accepting(f) || from_init[f].is_none() {
             continue;
         }
-        let prefix = path_letters(nba, &from_init, f);
+        let prefix = path_letters(&letters, &from_init, f);
         // BFS (shortest-first) over simple paths from f back to f.
         // Queue entries: (current state, letters so far, visited set).
-        let mut stack: VecDeque<(usize, Vec<L>, Vec<bool>)> = VecDeque::new();
-        let mut visited0 = vec![false; nba.num_states()];
+        let mut stack: VecDeque<(usize, Vec<S::L>, Vec<bool>)> = VecDeque::new();
+        let mut visited0 = vec![false; src.num_states()];
         visited0[f] = true;
         stack.push_back((f, Vec::new(), visited0));
-        while let Some((s, letters, visited)) = stack.pop_front() {
+        while let Some((s, cur, visited)) = stack.pop_front() {
             if out.len() >= max_lassos || steps >= max_steps || abort() {
                 break;
             }
             steps += 1;
-            for li in 0..nba.alphabet().len() {
-                for &t in nba.successors_idx(s, li) {
-                    let mut cycle = letters.clone();
-                    cycle.push(nba.alphabet()[li].clone());
-                    if t == f {
-                        if out.len() >= max_lassos {
-                            continue;
-                        }
-                        let lasso = Lasso::new(prefix.clone(), cycle);
-                        if !out.iter().any(|l| l.same_word(&lasso)) {
-                            out.push(lasso);
-                        }
-                    } else if !visited[t] && cycle.len() < max_cycle_len {
-                        let mut v2 = visited.clone();
-                        v2[t] = true;
-                        stack.push_back((t, cycle, v2));
+            for &(li, t) in src.edges(s) {
+                let (li, t) = (li as usize, t as usize);
+                let mut cycle = cur.clone();
+                cycle.push(letters[li].clone());
+                if t == f {
+                    if out.len() >= max_lassos {
+                        continue;
                     }
+                    let lasso = Lasso::new(prefix.clone(), cycle);
+                    if !out.iter().any(|l| l.same_word(&lasso)) {
+                        let stop = sink(&lasso);
+                        out.push(lasso);
+                        if stop {
+                            return out;
+                        }
+                    }
+                } else if !visited[t] && cycle.len() < max_cycle_len {
+                    let mut v2 = visited.clone();
+                    v2[t] = true;
+                    stack.push_back((t, cycle, v2));
                 }
             }
         }
@@ -313,6 +371,7 @@ mod tests {
 #[cfg(test)]
 mod enumerate_tests {
     use super::*;
+    use crate::arena::NbaSource;
 
     #[test]
     fn enumerates_multiple_cycles() {
@@ -349,5 +408,61 @@ mod enumerate_tests {
         a.set_accepting(1, true);
         a.add_transition(0, &0, 0);
         assert!(enumerate_accepting_lassos(&a, 10, 10).is_empty());
+    }
+
+    #[test]
+    fn sink_streams_in_enumeration_order_and_stops_early() {
+        // 0 -a-> 0, 0 -b-> 1 -c-> 0; accept 0: lassos "a", "bc".
+        let mut a = Nba::new(vec![0u8, 1, 2], 2);
+        a.set_init(0);
+        a.set_accepting(0, true);
+        a.add_transition(0, &0, 0);
+        a.add_transition(0, &1, 1);
+        a.add_transition(1, &2, 0);
+        let full = enumerate_accepting_lassos(&a, 10, 5);
+        // Streaming without stopping yields the full list in order.
+        let mut seen = Vec::new();
+        let streamed = for_each_accepting_lasso(
+            &mut NbaSource::new(&a),
+            10,
+            5,
+            500_000,
+            &mut || false,
+            &mut |l| {
+                seen.push(l.clone());
+                false
+            },
+        );
+        assert_eq!(streamed, full);
+        assert_eq!(seen, full);
+        // Stopping at the first lasso returns a prefix of the full list,
+        // including the triggering lasso.
+        let stopped = for_each_accepting_lasso(
+            &mut NbaSource::new(&a),
+            10,
+            5,
+            500_000,
+            &mut || false,
+            &mut |_| true,
+        );
+        assert_eq!(stopped, full[..1]);
+    }
+
+    #[test]
+    fn lazy_source_expands_only_reachable_frontier() {
+        // 0 -a-> 1 (accept, self-loop) plus unreachable tail 2 -a-> 3.
+        let mut a = Nba::new(vec![0u8, 1], 4);
+        a.set_init(0);
+        a.set_accepting(1, true);
+        a.add_transition(0, &0, 1);
+        a.add_transition(1, &1, 1);
+        a.add_transition(2, &0, 3);
+        let mut src = NbaSource::new(&a);
+        let lasso = find_accepting_lasso_in(&mut src).unwrap();
+        assert!(a.accepts_lasso(&lasso));
+        // States 2 and 3 were never expanded.
+        assert!(!src.arena().is_expanded(2));
+        assert!(!src.arena().is_expanded(3));
+        assert!(src.arena().nodes_expanded() <= 2);
     }
 }

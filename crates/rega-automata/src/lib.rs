@@ -16,6 +16,7 @@
 //! Everything here is generic over the letter type `L` (a [`Letter`]), which
 //! downstream crates instantiate with state or transition identifiers.
 
+pub mod arena;
 pub mod buchi;
 pub mod complement;
 pub mod dfa;
@@ -24,6 +25,7 @@ pub mod lasso;
 pub mod nfa;
 pub mod regex;
 
+pub use arena::{EdgeArena, NbaSource, SuccessorSource};
 pub use buchi::{Nba, Ngba};
 pub use dfa::Dfa;
 pub use lasso::Lasso;

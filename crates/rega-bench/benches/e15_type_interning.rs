@@ -6,7 +6,7 @@
 //! the repository root alongside the human-readable log.
 
 use rega_analysis::emptiness::{check_emptiness, check_emptiness_cached, EmptinessOptions};
-use rega_bench::{fmt_secs, measure, write_bench_json, Measured};
+use rega_bench::{fmt_secs, measure_pair, write_bench_json, Measured};
 use rega_core::generate::{random_automaton, GenParams};
 use rega_core::symbolic::{scontrol_nba, scontrol_nba_cached};
 use rega_core::{paper, ExtendedAutomaton};
@@ -88,21 +88,6 @@ fn speedup(direct: &Measured, cached: &Measured) -> f64 {
     direct.median_secs / cached.median_secs.max(1e-12)
 }
 
-/// Measures `direct` and `cached` in alternating order (D C D C) and keeps
-/// the better median of each, so clock-frequency drift between the two
-/// paths cannot masquerade as a speedup (or hide one).
-fn measure_pair<O1, O2>(
-    mut direct: impl FnMut() -> O1,
-    mut cached: impl FnMut() -> O2,
-) -> (Measured, Measured) {
-    let d1 = measure(SAMPLES, &mut direct);
-    let c1 = measure(SAMPLES, &mut cached);
-    let d2 = measure(SAMPLES, &mut direct);
-    let c2 = measure(SAMPLES, &mut cached);
-    let best = |a: Measured, b: Measured| if a.median_secs <= b.median_secs { a } else { b };
-    (best(d1, d2), best(c1, c2))
-}
-
 fn main() {
     let opts = EmptinessOptions::default();
     let mut entries = Vec::new();
@@ -130,10 +115,12 @@ fn main() {
         // before-baseline; the cached path adds cross-call reuse.
         let cache = SatCache::new(ra.schema().clone());
         let (sctl_direct, sctl_cached) = measure_pair(
+            SAMPLES,
             || scontrol_nba(ra).unwrap(),
             || scontrol_nba_cached(ra, &cache).unwrap(),
         );
         let (empt_direct, empt_cached) = measure_pair(
+            SAMPLES,
             || check_emptiness(&w.ext, &opts).unwrap(),
             || check_emptiness_cached(&w.ext, &opts, &cache).unwrap(),
         );
@@ -141,6 +128,7 @@ fn main() {
         // runs (verification, chase, monitoring startup): SControl
         // construction followed by the emptiness decision.
         let (comb_direct, comb_cached) = measure_pair(
+            SAMPLES,
             || {
                 let nba = scontrol_nba(ra).unwrap();
                 (nba, check_emptiness(&w.ext, &opts).unwrap())

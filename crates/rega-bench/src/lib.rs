@@ -1,4 +1,4 @@
-//! Shared helpers for the benchmark harness (experiments E1–E17; see
+//! Shared helpers for the benchmark harness (experiments E1–E18; see
 //! EXPERIMENTS.md for the experiment index and recorded outcomes).
 
 use criterion::Criterion;
@@ -76,6 +76,23 @@ pub fn measure<O>(samples: usize, mut routine: impl FnMut() -> O) -> Measured {
         samples,
         iters_per_sample: iters,
     }
+}
+
+/// Times two routines in alternation (`A B A B`), keeping the best median
+/// per side. The interleaving cancels slow machine-state drift (thermal
+/// throttling, cache pressure from a neighbouring process) that would
+/// otherwise bias whichever routine happens to run second.
+pub fn measure_pair<O1, O2>(
+    samples: usize,
+    mut a: impl FnMut() -> O1,
+    mut b: impl FnMut() -> O2,
+) -> (Measured, Measured) {
+    let a1 = measure(samples, &mut a);
+    let b1 = measure(samples, &mut b);
+    let a2 = measure(samples, &mut a);
+    let b2 = measure(samples, &mut b);
+    let best = |x: Measured, y: Measured| if x.median_secs <= y.median_secs { x } else { y };
+    (best(a1, a2), best(b1, b2))
 }
 
 /// Formats seconds the way the criterion stub does (`ns`/`µs`/`ms`/`s`).

@@ -168,7 +168,7 @@ fn trace_json_then_trace_report_round_trip() {
     let rendered = String::from_utf8_lossy(&report.stdout);
     assert!(rendered.contains("wall-time tree"));
     assert!(rendered.contains("emptiness.check"));
-    assert!(rendered.contains("emptiness.nba_build"));
+    assert!(rendered.contains("emptiness.on_the_fly.search"));
     assert!(rendered.contains("satcache hit ratio"));
     let _ = std::fs::remove_file(&trace);
 }

@@ -14,8 +14,11 @@
 
 use crate::automaton::{RegisterAutomaton, TransId};
 use crate::error::CoreError;
-use rega_automata::{Lasso, Nba};
-use rega_data::{Budget, SatCache, TypeId};
+use rega_automata::{EdgeArena, Lasso, Nba, SuccessorSource};
+use rega_data::{Budget, GovernError, SatCache, TypeBits, TypeBitsSpace, TypeId};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// Builds the Büchi automaton recognizing `SControl(A)` over the alphabet of
 /// transition ids, with a private, throwaway [`SatCache`]. Prefer
@@ -114,6 +117,198 @@ pub fn scontrol_nba_governed(
     Ok(nba)
 }
 
+/// A lazy [`SuccessorSource`] revealing the `SControl(A)` Büchi automaton
+/// on demand, without materializing it.
+///
+/// States and acceptance follow [`scontrol_nba_cached`] exactly (state 0 =
+/// start, state `1 + t.idx()` = "transition `t` just fired", accepting iff
+/// `from(t) ∈ F`), and edges are produced in ascending letter order — so the
+/// generic emptiness engine traverses precisely the automaton the eager
+/// builder would produce, but only wires the states the search reaches. On
+/// satisfiable instances with an early witness this skips most of the
+/// quadratic wiring loop.
+///
+/// Joint-satisfiability of consecutive types — the per-edge test — runs on
+/// the [`TypeBits`] word-level kernel when the schema/register fragment
+/// supports it (`3k + |consts| ≤ 16` terms), falling back to the memoized
+/// [`SatCache`] path otherwise. Counters `typebits.joint_fast` /
+/// `typebits.joint_fallback` record which path served each pair.
+///
+/// ## Governance
+///
+/// Expansion ticks the [`Budget`] once per candidate letter (phase
+/// `emptiness.on_the_fly.expand`) — the same per-pair granularity as the
+/// eager wiring loop. The search engine in `rega-automata` cannot carry a
+/// `Result` through its traversal, so a trip is *stashed* in a shared cell
+/// ([`SControlSource::trip_handle`]) and the source thereafter reports no
+/// edges, which drains the search promptly; callers poll the cell from
+/// their abort hook and re-raise the stashed [`GovernError`]. A tripped
+/// expansion is **not** recorded in the arena and memoizes nothing.
+pub struct SControlSource<'a> {
+    ra: &'a RegisterAutomaton,
+    cache: &'a SatCache,
+    budget: &'a Budget,
+    alphabet: Vec<TransId>,
+    inits: [usize; 1],
+    type_of: Vec<TypeId>,
+    /// Bitset kernel for joint-satisfiability, when the fragment supports it.
+    space: Option<Arc<TypeBitsSpace>>,
+    /// Per-transition `TypeBits`, aligned with `alphabet`.
+    bits: Vec<Option<TypeBits>>,
+    arena: EdgeArena,
+    scratch: Vec<(u32, u32)>,
+    trip: Rc<RefCell<Option<GovernError>>>,
+    nodes_ctr: rega_obs::Counter,
+    edges_ctr: rega_obs::Counter,
+    fast_ctr: rega_obs::Counter,
+    fallback_ctr: rega_obs::Counter,
+}
+
+impl<'a> SControlSource<'a> {
+    /// Prepares a lazy source over `ra`'s symbolic control automaton.
+    ///
+    /// Interns every transition type into `cache` up front (linear, exactly
+    /// what the eager builder does) and encodes each into [`TypeBits`] when
+    /// the joint-satisfiability kernel is available for `ra`'s fragment.
+    pub fn new(ra: &'a RegisterAutomaton, cache: &'a SatCache, budget: &'a Budget) -> Self {
+        let alphabet: Vec<TransId> = ra.transition_ids().collect();
+        let type_of: Vec<TypeId> = alphabet
+            .iter()
+            .map(|&t| cache.intern(&ra.transition(t).ty))
+            .collect();
+        let space = cache
+            .typebits_space(ra.k())
+            .filter(|sp| sp.supports_joint());
+        let bits = match &space {
+            Some(_) => type_of.iter().map(|&id| cache.typebits(id)).collect(),
+            None => vec![None; type_of.len()],
+        };
+        let n = alphabet.len();
+        let registry = rega_obs::global();
+        SControlSource {
+            ra,
+            cache,
+            budget,
+            inits: [0],
+            type_of,
+            space,
+            bits,
+            arena: EdgeArena::new(n + 1),
+            scratch: Vec::new(),
+            trip: Rc::new(RefCell::new(None)),
+            nodes_ctr: registry.counter("emptiness.on_the_fly.nodes_expanded"),
+            edges_ctr: registry.counter("emptiness.on_the_fly.edges_wired"),
+            fast_ctr: registry.counter("typebits.joint_fast"),
+            fallback_ctr: registry.counter("typebits.joint_fallback"),
+            alphabet,
+        }
+    }
+
+    /// Shared cell a budget trip is stashed in. Abort hooks poll it (the
+    /// engine's traversal cannot return `Result`); the caller re-raises the
+    /// error after the search drains.
+    pub fn trip_handle(&self) -> Rc<RefCell<Option<GovernError>>> {
+        Rc::clone(&self.trip)
+    }
+
+    /// Takes the stashed budget trip, if any.
+    pub fn take_trip(&self) -> Option<GovernError> {
+        self.trip.borrow_mut().take()
+    }
+
+    /// The arena backing expanded states (partial-progress diagnostics).
+    pub fn arena(&self) -> &EdgeArena {
+        &self.arena
+    }
+
+    /// Whether the pair `(u, t)` of transitions is compatible: `t` may
+    /// directly follow `u` in a symbolic control trace.
+    fn compatible(&self, u: usize, t: usize) -> bool {
+        if let (Some(sp), Some(a), Some(b)) = (&self.space, &self.bits[u], &self.bits[t]) {
+            if let Some(sat) = sp.jointly_satisfiable(a, b) {
+                self.fast_ctr.inc();
+                return sat;
+            }
+        }
+        self.fallback_ctr.inc();
+        self.cache
+            .jointly_satisfiable_ids(self.type_of[u], self.type_of[t])
+    }
+
+    /// Computes the out-edges of `s` into `scratch`, ticking the budget once
+    /// per candidate letter. `Err` means the budget tripped mid-expansion.
+    fn expand_into_scratch(&mut self, s: usize) -> Result<(), GovernError> {
+        self.scratch.clear();
+        let cache = self.cache;
+        if s == 0 {
+            for (ti, &t) in self.alphabet.iter().enumerate() {
+                self.budget.tick_mem("emptiness.on_the_fly.expand", || {
+                    cache.stats().distinct_types
+                })?;
+                if self.ra.is_initial(self.ra.transition(t).from) {
+                    self.scratch.push((ti as u32, (1 + ti) as u32));
+                }
+            }
+        } else {
+            let u = s - 1;
+            let u_to = self.ra.transition(self.alphabet[u]).to;
+            for (ti, &t) in self.alphabet.iter().enumerate() {
+                self.budget.tick_mem("emptiness.on_the_fly.expand", || {
+                    cache.stats().distinct_types
+                })?;
+                if self.ra.transition(t).from == u_to && self.compatible(u, ti) {
+                    self.scratch.push((ti as u32, (1 + ti) as u32));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SuccessorSource for SControlSource<'_> {
+    type L = TransId;
+
+    fn num_states(&self) -> usize {
+        self.alphabet.len() + 1
+    }
+
+    fn alphabet(&self) -> &[TransId] {
+        &self.alphabet
+    }
+
+    fn inits(&self) -> &[usize] {
+        &self.inits
+    }
+
+    fn is_accepting(&self, s: usize) -> bool {
+        // Matches scontrol_nba_cached: state 1 + t.idx() accepts iff
+        // from(t) ∈ F; the start state never does.
+        s > 0 && {
+            let t = self.alphabet[s - 1];
+            self.ra.is_accepting(self.ra.transition(t).from)
+        }
+    }
+
+    fn edges(&mut self, s: usize) -> &[(u32, u32)] {
+        const EMPTY: &[(u32, u32)] = &[];
+        if self.trip.borrow().is_some() {
+            return EMPTY;
+        }
+        if !self.arena.is_expanded(s) {
+            if let Err(g) = self.expand_into_scratch(s) {
+                *self.trip.borrow_mut() = Some(g);
+                return EMPTY;
+            }
+            self.nodes_ctr.inc();
+            self.edges_ctr.add(self.scratch.len() as u64);
+            let scratch = std::mem::take(&mut self.scratch);
+            self.arena.expand(s, scratch.iter().copied());
+            self.scratch = scratch;
+        }
+        self.arena.get(s).expect("just expanded")
+    }
+}
+
 /// Whether a lasso of transition ids is a symbolic control trace of `A`.
 pub fn is_symbolic_control_trace(
     ra: &RegisterAutomaton,
@@ -204,6 +399,69 @@ mod tests {
         let (ra, _) = paper::example1();
         let w = find_symbolic_control_trace(&ra).unwrap().unwrap();
         assert!(is_symbolic_control_trace(&ra, &w).unwrap());
+    }
+
+    #[test]
+    fn lazy_source_matches_eager_nba() {
+        // Edge-for-edge agreement between the lazy source and the
+        // materialized SControl NBA on the paper's automata.
+        for ext in [
+            paper::example1().0,
+            paper::example5().ra().clone(),
+            paper::example7().ra().clone(),
+            paper::example8().ra().clone(),
+        ] {
+            let cache = SatCache::new(ext.schema().clone());
+            let budget = Budget::unlimited();
+            let nba = scontrol_nba_cached(&ext, &cache).unwrap();
+            let mut src = SControlSource::new(&ext, &cache, &budget);
+            assert_eq!(src.num_states(), nba.num_states());
+            assert_eq!(src.alphabet(), nba.alphabet());
+            assert_eq!(src.inits(), nba.inits());
+            for s in 0..nba.num_states() {
+                assert_eq!(src.is_accepting(s), nba.is_accepting(s), "state {s}");
+                let eager: Vec<(u32, u32)> = (0..nba.alphabet().len())
+                    .flat_map(|li| {
+                        nba.successors_idx(s, li)
+                            .iter()
+                            .map(move |&t| (li as u32, t as u32))
+                    })
+                    .collect();
+                assert_eq!(src.edges(s), &eager[..], "state {s}");
+            }
+            assert!(src.take_trip().is_none());
+        }
+    }
+
+    #[test]
+    fn lazy_source_same_lasso_as_eager() {
+        let (ra, _) = paper::example1();
+        let cache = SatCache::new(ra.schema().clone());
+        let budget = Budget::unlimited();
+        let eager = find_symbolic_control_trace(&ra).unwrap().unwrap();
+        let mut src = SControlSource::new(&ra, &cache, &budget);
+        let lazy = rega_automata::emptiness::find_accepting_lasso_in(&mut src).unwrap();
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn lazy_source_stashes_budget_trip() {
+        let (ra, _) = paper::example1();
+        let cache = SatCache::new(ra.schema().clone());
+        let budget = rega_data::Budget::start(&rega_data::BudgetSpec {
+            max_nodes: Some(2),
+            ..rega_data::BudgetSpec::default()
+        });
+        let mut src = SControlSource::new(&ra, &cache, &budget);
+        let trip = src.trip_handle();
+        // State 0 expansion ticks once per transition (3 > 2): trips.
+        assert_eq!(src.edges(0), &[] as &[(u32, u32)]);
+        let g = trip.borrow().clone().expect("budget tripped");
+        assert_eq!(g.phase(), "emptiness.on_the_fly.expand");
+        // Nothing was recorded; subsequent queries stay empty and cheap.
+        assert_eq!(src.arena().nodes_expanded(), 0);
+        assert_eq!(src.edges(1), &[] as &[(u32, u32)]);
+        assert!(src.take_trip().is_some());
     }
 
     #[test]

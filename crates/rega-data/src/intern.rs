@@ -20,6 +20,7 @@
 use crate::error::DataError;
 use crate::govern::Budget;
 use crate::schema::Schema;
+use crate::typebits::{TypeBits, TypeBitsSpace};
 use crate::types::{SigmaType, TypeAnalysis};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,6 +117,20 @@ struct CacheInner {
     joint: HashMap<(TypeId, TypeId), bool>,
     agrees: HashMap<(TypeId, TypeId), Result<bool, DataError>>,
     completions: HashMap<TypeId, Result<Vec<TypeId>, DataError>>,
+    /// Bitset spaces per register count (`None` = fragment unsupported).
+    bit_spaces: HashMap<u16, Option<Arc<TypeBitsSpace>>>,
+    /// Lossless bitset encodings per interned type (`None` = unsupported).
+    bits: HashMap<TypeId, Option<TypeBits>>,
+}
+
+impl CacheInner {
+    /// The (memoized) bitset space for `k`-register types over `schema`.
+    fn bit_space(&mut self, schema: &Schema, k: u16) -> Option<Arc<TypeBitsSpace>> {
+        self.bit_spaces
+            .entry(k)
+            .or_insert_with(|| TypeBitsSpace::new(schema, k).map(Arc::new))
+            .clone()
+    }
 }
 
 /// Hit/miss counters and interner size of a [`SatCache`].
@@ -411,6 +426,40 @@ impl SatCache {
             .collect())
     }
 
+    /// The shared [`TypeBitsSpace`] for `k`-register types over this
+    /// cache's schema, or `None` when the bitset fragment cannot represent
+    /// them. Memoized per `k`, so fast paths can fetch it freely.
+    pub fn typebits_space(&self, k: u16) -> Option<Arc<TypeBitsSpace>> {
+        self.inner.lock().unwrap().bit_space(&self.schema, k)
+    }
+
+    /// The memoized lossless [`TypeBits`] encoding of an interned type, or
+    /// `None` when the type falls outside the bitset fragment. Decoding the
+    /// result in [`SatCache::typebits_space`] of the type's `k` yields the
+    /// original type back, and [`SatCache::intern_typebits`] is the inverse
+    /// direction.
+    pub fn typebits(&self, id: TypeId) -> Option<TypeBits> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(b) = inner.bits.get(&id) {
+            self.hit();
+            return b.clone();
+        }
+        self.miss();
+        let ty = Arc::clone(inner.interner.resolve(id));
+        let b = inner
+            .bit_space(&self.schema, ty.k())
+            .and_then(|sp| sp.encode(&ty));
+        inner.bits.insert(id, b.clone());
+        b
+    }
+
+    /// Interns the σ-type a [`TypeBits`] value decodes to, returning its
+    /// handle (the inverse of [`SatCache::typebits`] for types of the
+    /// space's register count).
+    pub fn intern_typebits(&self, space: &TypeBitsSpace, bits: &TypeBits) -> TypeId {
+        self.intern_owned(space.decode(bits))
+    }
+
     /// Current hit/miss counters and interner size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -564,6 +613,32 @@ mod tests {
         assert_eq!((s.hits, s.misses), (3, 1));
         assert!((s.hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(s.distinct_types, 1);
+    }
+
+    #[test]
+    fn typebits_roundtrip_via_cache() {
+        let schema = Schema::with(&[("P", 1)], &[]);
+        let cache = SatCache::new(schema);
+        let id = cache.intern(&ty_eq());
+        let bits = cache.typebits(id).expect("k = 2 over P/1 is in-fragment");
+        let space = cache.typebits_space(2).unwrap();
+        assert_eq!(cache.intern_typebits(&space, &bits), id);
+        // The encoding is memoized: a second lookup is a pure hit.
+        let before = cache.stats();
+        assert_eq!(cache.typebits(id), Some(bits));
+        let after = cache.stats();
+        assert_eq!(before.misses, after.misses);
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn typebits_space_gated_per_k() {
+        let cache = SatCache::new(Schema::empty());
+        assert!(cache.typebits_space(2).is_some());
+        // 2·9 = 18 terms exceeds the bitset fragment.
+        assert!(cache.typebits_space(9).is_none());
+        let id = cache.intern(&SigmaType::empty(9));
+        assert_eq!(cache.typebits(id), None);
     }
 
     #[test]

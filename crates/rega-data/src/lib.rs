@@ -17,6 +17,10 @@
 //! * [`SatCache`] / [`TypeInterner`] — hash-consed σ-types ([`TypeId`]
 //!   handles) with memoized analysis, saturation, restriction, joint
 //!   satisfiability, and completion, shared by the whole analysis stack.
+//! * [`TypeBits`] / [`TypeBitsSpace`] — a fixed-width bitset encoding of
+//!   σ-types with word-level kernels for the same operations, used by the
+//!   fast symbolic-control paths and losslessly convertible to/from
+//!   [`SigmaType`] and interned [`TypeId`]s.
 
 pub mod database;
 pub mod error;
@@ -26,6 +30,7 @@ pub mod literal;
 pub mod qf;
 pub mod schema;
 pub mod term;
+pub mod typebits;
 pub mod types;
 pub mod value;
 
@@ -37,5 +42,6 @@ pub use literal::Literal;
 pub use qf::{Qf, QfTerm};
 pub use schema::{ConstSym, RelSym, Schema};
 pub use term::{RegIdx, Term};
+pub use typebits::{TypeBits, TypeBitsSpace};
 pub use types::SigmaType;
 pub use value::{Value, ValueSupply};

@@ -275,12 +275,13 @@ fn node_ceiling_is_exact() {
 
 /// Flipping the cancellation token from another thread interrupts an
 /// otherwise-unbounded emptiness check mid-construction: the dense control
-/// graph keeps `SControl` wiring busy for well over the cancel delay, yet
-/// the check returns `Cancelled` almost immediately after the flip.
+/// graph keeps the on-the-fly expansion busy for well over the cancel
+/// delay (seconds, uncancelled), yet the check returns `Cancelled` almost
+/// immediately after the flip.
 #[test]
 fn cancellation_from_another_thread_interrupts_emptiness() {
     let cache = SatCache::new(Schema::empty());
-    let ext = ExtendedAutomaton::new(dense_control(50));
+    let ext = ExtendedAutomaton::new(dense_control(150));
     let budget = Budget::start(&BudgetSpec {
         deadline_ms: None,
         max_nodes: None,
@@ -305,4 +306,109 @@ fn cancellation_from_another_thread_interrupts_emptiness() {
         "cancellation must cut the construction short"
     );
     assert!(budget.cancel_token().is_cancelled());
+}
+
+/// A budget trip mid on-the-fly search is a *typed* error carrying the
+/// phase it fired in and partial-progress diagnostics — never a panic, a
+/// wrong verdict, or a silent truncation.
+#[test]
+fn on_the_fly_trip_is_typed_with_phase_and_progress() {
+    let cache = SatCache::new(Schema::empty());
+    let ext = ExtendedAutomaton::new(dense_control(51));
+    let budget = Budget::start(&BudgetSpec {
+        deadline_ms: None,
+        max_nodes: Some(500),
+        max_types: None,
+    });
+    let err = check_emptiness_governed(&ext, &EmptinessOptions::default(), &cache, &budget)
+        .expect_err("500 ticks cannot cover a 2601-letter expansion");
+    match err {
+        CoreError::Govern(g @ GovernError::NodeBudgetExceeded { .. }) => {
+            assert!(
+                g.phase().starts_with("emptiness.on_the_fly"),
+                "trip must name the on-the-fly phase, got {:?}",
+                g.phase()
+            );
+            assert!(g.nodes() > 0, "diagnostics carry the tick count");
+            assert_eq!(g.nodes(), 501, "trip fires on the refused tick");
+        }
+        other => panic!("expected NodeBudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(budget.nodes(), 501);
+}
+
+/// A tripped search memoizes nothing: re-running against the *same* cache
+/// with the budget lifted returns exactly the verdict and witness a fresh
+/// cache produces.
+#[test]
+fn on_the_fly_trip_never_memoizes_into_the_cache() {
+    use rega_analysis::emptiness::EmptinessVerdict;
+    let ext = ExtendedAutomaton::new(dense_control(51));
+    let opts = EmptinessOptions::default();
+
+    let shared = SatCache::new(Schema::empty());
+    let tight = Budget::start(&BudgetSpec {
+        deadline_ms: None,
+        max_nodes: Some(500),
+        max_types: None,
+    });
+    check_emptiness_governed(&ext, &opts, &shared, &tight).expect_err("must trip");
+
+    let warm = check_emptiness_governed(&ext, &opts, &shared, &Budget::unlimited()).unwrap();
+    let fresh = check_emptiness_governed(
+        &ext,
+        &opts,
+        &SatCache::new(Schema::empty()),
+        &Budget::unlimited(),
+    )
+    .unwrap();
+    match (&warm, &fresh) {
+        (EmptinessVerdict::NonEmpty(a), EmptinessVerdict::NonEmpty(b)) => {
+            assert_eq!(a.control, b.control, "tripped cache changed the witness");
+        }
+        (EmptinessVerdict::Empty, EmptinessVerdict::Empty) => {}
+        _ => panic!("tripped cache changed the verdict"),
+    }
+}
+
+/// Driving the lazy source directly: a node ceiling of `N` leaves at most
+/// `N + 1` states expanded in the arena (each expansion ticks at least
+/// once per alphabet letter), and the tripped expansion itself is *not*
+/// recorded — partial progress stays honest.
+#[test]
+fn on_the_fly_arena_respects_node_ceiling() {
+    use rega_automata::emptiness::for_each_accepting_lasso;
+    use rega_core::symbolic::SControlSource;
+
+    let cache = SatCache::new(Schema::empty());
+    let ra = dense_control(51);
+    for max_nodes in [500u64, 2_000, 5_000] {
+        let budget = Budget::start(&BudgetSpec {
+            deadline_ms: None,
+            max_nodes: Some(max_nodes),
+            max_types: None,
+        });
+        let mut src = SControlSource::new(&ra, &cache, &budget);
+        let trip = src.trip_handle();
+        let lassos = for_each_accepting_lasso(
+            &mut src,
+            64,
+            10,
+            500_000,
+            &mut || trip.borrow().is_some(),
+            &mut |_| false,
+        );
+        let g = src.take_trip().expect("every ceiling here is too small");
+        assert!(g.phase().starts_with("emptiness.on_the_fly"));
+        assert!(
+            (src.arena().nodes_expanded() as u64) <= max_nodes + 1,
+            "ceiling {max_nodes}: {} nodes left in the arena",
+            src.arena().nodes_expanded()
+        );
+        assert!(budget.nodes() <= max_nodes + 1);
+        assert!(
+            lassos.is_empty(),
+            "a drained search must not fabricate lassos"
+        );
+    }
 }
